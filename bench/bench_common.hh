@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction benches: the §5
+ * experiment grid (offered-load sweeps over scheduler configurations)
+ * and uniform table/CSV output so each binary prints exactly the
+ * series the paper plots.
+ */
+
+#ifndef MMR_BENCH_BENCH_COMMON_HH
+#define MMR_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/cli.hh"
+#include "base/table.hh"
+#include "harness/single_router.hh"
+
+namespace mmr::bench
+{
+
+/** The offered-load grid used by Figures 3-5. */
+inline std::vector<double>
+defaultLoads()
+{
+    return {0.10, 0.30, 0.50, 0.70, 0.80, 0.90, 0.95};
+}
+
+/** One curve of a paper figure. */
+struct Series
+{
+    std::string label;
+    SchedulerKind scheduler;
+    unsigned candidates;
+};
+
+struct SweepOptions
+{
+    Cycle warmupCycles = 20000;
+    Cycle measureCycles = 100000;
+    std::uint64_t seed = 42;
+    WorkloadMix mix;
+};
+
+/** Run one series over the load grid. */
+inline std::vector<ExperimentResult>
+runSweep(const Series &series, const std::vector<double> &loads,
+         const SweepOptions &opts)
+{
+    std::vector<ExperimentResult> results;
+    results.reserve(loads.size());
+    for (double load : loads) {
+        ExperimentConfig cfg;
+        cfg.router.scheduler = series.scheduler;
+        cfg.router.candidates = series.candidates;
+        cfg.offeredLoad = load;
+        cfg.warmupCycles = opts.warmupCycles;
+        cfg.measureCycles = opts.measureCycles;
+        cfg.seed = opts.seed;
+        cfg.mix = opts.mix;
+        results.push_back(runSingleRouter(cfg));
+        std::fprintf(stderr, "  %-16s load %.2f done\n",
+                     series.label.c_str(), load);
+    }
+    return results;
+}
+
+/**
+ * Emit one table + CSV block: rows = loads, one column per series,
+ * cell = metric(result).
+ */
+inline void
+printFigure(const std::string &name,
+            const std::vector<Series> &series,
+            const std::vector<double> &loads,
+            const std::vector<std::vector<ExperimentResult>> &results,
+            const std::function<double(const ExperimentResult &)> &metric,
+            int precision = 4)
+{
+    std::vector<std::string> headers{"offered_load"};
+    for (const Series &s : series)
+        headers.push_back(s.label);
+    Table t(std::move(headers));
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+        std::vector<std::string> row{Table::num(loads[li], 2)};
+        for (std::size_t si = 0; si < series.size(); ++si)
+            row.push_back(Table::num(metric(results[si][li]), precision));
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+    t.printCsv(std::cout, name);
+}
+
+/** Standard sweep flags shared by the figure benches. */
+inline void
+addSweepFlags(Cli &cli)
+{
+    cli.flag("measure", "100000", "measured flit cycles per point");
+    cli.flag("warmup", "20000", "warm-up flit cycles per point");
+    cli.flag("seed", "42", "workload seed");
+    cli.flag("loads", "", "comma-separated loads (default: paper grid)");
+}
+
+inline SweepOptions
+sweepOptions(const Cli &cli)
+{
+    SweepOptions o;
+    o.measureCycles = static_cast<Cycle>(cli.integer("measure"));
+    o.warmupCycles = static_cast<Cycle>(cli.integer("warmup"));
+    o.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+    return o;
+}
+
+inline std::vector<double>
+loadsFromCli(const Cli &cli)
+{
+    const auto parts = cli.list("loads");
+    if (parts.empty())
+        return defaultLoads();
+    std::vector<double> loads;
+    for (const auto &p : parts)
+        loads.push_back(std::stod(p));
+    return loads;
+}
+
+/** main() wrapper: converts mmr_fatal into a clean error exit. */
+inline int
+guardedMain(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
+
+} // namespace mmr::bench
+
+#endif // MMR_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * mmr_sim — the general config-driven simulator front end.
+ *
+ * Exposes the full §2 design space from the command line, in two
+ * modes:
+ *
+ *   --mode=router   the §5 single-router study with arbitrary knobs
+ *                   (ports, VCs, K, candidates, scheduler, traffic
+ *                   mix, late-frame aborts, automatic warm-up);
+ *   --mode=network  an end-to-end network of MMRs (mesh/torus/ring/
+ *                   irregular), CBR load via EPB-established paths
+ *                   plus best-effort background, optional link
+ *                   failure injection mid-run.
+ *
+ * Examples:
+ *   ./mmr_sim --mode=router --load=0.9 --sched=biased --candidates=8
+ *   ./mmr_sim --mode=router --vbr=0.5 --be=0.2 --abort-late=true
+ *   ./mmr_sim --mode=network --topology=mesh4x4 --load=0.5 \
+ *             --fail-link=5,6
+ */
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <memory>
+
+#include "base/cli.hh"
+#include "base/table.hh"
+#include "harness/single_router.hh"
+#include "network/interface.hh"
+#include "network/network.hh"
+#include "sim/kernel.hh"
+
+namespace
+{
+
+using namespace mmr;
+
+Topology
+parseTopology(const std::string &spec, Rng &rng)
+{
+    if (spec.rfind("mesh", 0) == 0) {
+        const auto x = spec.find('x', 4);
+        if (x == std::string::npos)
+            mmr_fatal("mesh spec must be meshWxH, got '", spec, "'");
+        return Topology::mesh2d(std::stoul(spec.substr(4, x - 4)),
+                                std::stoul(spec.substr(x + 1)));
+    }
+    if (spec.rfind("torus", 0) == 0) {
+        const auto x = spec.find('x', 5);
+        if (x == std::string::npos)
+            mmr_fatal("torus spec must be torusWxH, got '", spec, "'");
+        return Topology::torus2d(std::stoul(spec.substr(5, x - 5)),
+                                 std::stoul(spec.substr(x + 1)));
+    }
+    if (spec.rfind("ring", 0) == 0)
+        return Topology::ring(std::stoul(spec.substr(4)));
+    if (spec.rfind("irregular", 0) == 0) {
+        const unsigned n = std::stoul(spec.substr(9));
+        return Topology::irregular(n, n / 2, 4, rng);
+    }
+    mmr_fatal("unknown topology '", spec,
+              "' (want meshWxH|torusWxH|ringN|irregularN)");
+}
+
+int
+runRouterMode(const Cli &cli)
+{
+    ExperimentConfig cfg;
+    cfg.router.numPorts = static_cast<unsigned>(cli.integer("ports"));
+    cfg.router.vcsPerPort = static_cast<unsigned>(cli.integer("vcs"));
+    cfg.router.linkRateBps = cli.real("gbps") * kGbps;
+    cfg.router.flitBits = static_cast<unsigned>(cli.integer("flit"));
+    cfg.router.roundFactorK = static_cast<unsigned>(cli.integer("k"));
+    cfg.router.candidates =
+        static_cast<unsigned>(cli.integer("candidates"));
+    cfg.router.scheduler = schedulerKindFromString(cli.str("sched"));
+    cfg.router.concurrencyFactor = cli.real("concurrency");
+    cfg.router.bestEffortReserve = cli.real("be-reserve");
+    cfg.offeredLoad = cli.real("load");
+    cfg.measureCycles = static_cast<Cycle>(cli.integer("cycles"));
+    cfg.warmupCycles = static_cast<Cycle>(cli.integer("warmup"));
+    cfg.autoWarmup = cli.boolean("auto-warmup");
+    cfg.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+    const double vbr = cli.real("vbr");
+    const double be = cli.real("be");
+    if (vbr + be > 1.0)
+        mmr_fatal("vbr + be shares exceed 1.0");
+    cfg.mix.cbrShare = 1.0 - vbr - be;
+    cfg.mix.vbrShare = vbr;
+    cfg.mix.beShare = be;
+    cfg.mix.abortLateFrames = cli.boolean("abort-late");
+    cfg.mix.vbrProfile.framesPerSecond = cli.real("fps");
+    cfg.mix.vbrProfile.peakToMean = cli.real("peak");
+
+    const ExperimentResult r = runSingleRouter(cfg);
+    const double ns = cfg.router.flitCycleNanos();
+
+    Table t({"metric", "value"});
+    t.addRow({"scheduler", to_string(cfg.router.scheduler)});
+    t.addRow({"candidates", std::to_string(cfg.router.candidates)});
+    t.addRow({"connections", std::to_string(r.connections)});
+    t.addRow({"achieved load", Table::num(r.achievedLoad, 3)});
+    t.addRow({"warm-up used (cycles)", std::to_string(r.warmupUsed)});
+    t.addRow({"flits delivered", std::to_string(r.flitsDelivered)});
+    t.addRow({"mean delay (cycles / us)",
+              Table::num(r.meanDelayCycles) + " / " +
+                  Table::num(r.meanDelayUs)});
+    t.addRow({"p99 delay (cycles)", Table::num(r.p99DelayCycles, 1)});
+    t.addRow({"mean jitter (cycles)", Table::num(r.meanJitterCycles)});
+    t.addRow({"switch utilization", Table::num(r.utilization, 3)});
+    if (r.cbr.flits)
+        t.addRow({"CBR delay (us)",
+                  Table::num(r.cbr.delayCycles.mean() * ns / 1000.0)});
+    if (r.vbr.flits) {
+        t.addRow({"VBR delay (us)",
+                  Table::num(r.vbr.delayCycles.mean() * ns / 1000.0)});
+        t.addRow({"VBR deadline miss",
+                  Table::num(100.0 * r.vbr.deadlineMissRate(), 2) +
+                      "%"});
+        t.addRow({"aborted flits", std::to_string(r.abortedFlits)});
+    }
+    if (r.bestEffort.flits)
+        t.addRow({"best-effort delay (us)",
+                  Table::num(r.bestEffort.delayCycles.mean() * ns /
+                             1000.0)});
+    t.addRow({"injection rejects", std::to_string(r.injectionRejects)});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+runNetworkMode(const Cli &cli)
+{
+    const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+    Rng rng(seed);
+    const Topology topo = parseTopology(cli.str("topology"), rng);
+
+    NetworkConfig ncfg;
+    ncfg.router.vcsPerPort = static_cast<unsigned>(cli.integer("vcs"));
+    ncfg.router.candidates =
+        static_cast<unsigned>(cli.integer("candidates"));
+    ncfg.router.scheduler = schedulerKindFromString(cli.str("sched"));
+    ncfg.seed = seed;
+    Network net(topo, ncfg);
+    Kernel kernel;
+    kernel.add(&net);
+
+    std::vector<std::unique_ptr<NetworkInterface>> hosts;
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        hosts.push_back(
+            std::make_unique<NetworkInterface>(net, n, seed + n));
+        hosts.back()->setAutoReestablish(true);
+    }
+
+    // CBR load per host link plus light best-effort background.
+    const double load = cli.real("load");
+    const double link = ncfg.router.linkRateBps;
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        double local = 0.0;
+        unsigned failures = 0;
+        while (local < load * link && failures < 32) {
+            NodeId dst;
+            do {
+                dst = static_cast<NodeId>(rng.below(topo.numNodes()));
+            } while (dst == n);
+            const double rate = rng.pick(paperRateLadder());
+            if (local + rate > load * link * 1.05) {
+                ++failures;
+                continue;
+            }
+            if (hosts[n]->openCbrStream(dst, rate)) {
+                local += rate;
+                failures = 0;
+            } else {
+                ++failures;
+            }
+        }
+        hosts[n]->addBestEffortFlow((n + 1) % topo.numNodes(),
+                                    2 * kMbps);
+    }
+
+    const auto cycles = static_cast<Cycle>(cli.integer("cycles"));
+    net.endToEnd().startMeasurement(cycles / 10);
+
+    // Optional mid-run link failure.
+    const auto fail = cli.list("fail-link");
+    const Cycle fail_at = cycles / 2;
+    bool failed = false;
+
+    for (Cycle t = 0; t < cycles; ++t) {
+        if (!failed && fail.size() == 2 && t == fail_at) {
+            const NodeId a = static_cast<NodeId>(std::stoul(fail[0]));
+            const NodeId b = static_cast<NodeId>(std::stoul(fail[1]));
+            if (net.failLink(a, b))
+                std::printf("cycle %llu: failed link %u-%u\n",
+                            static_cast<unsigned long long>(t), a, b);
+            failed = true;
+        }
+        for (auto &h : hosts)
+            h->tick(kernel.now());
+        kernel.step();
+    }
+
+    unsigned streams = 0, lost = 0, reest = 0;
+    for (auto &h : hosts) {
+        streams += h->establishedStreams();
+        lost += h->lostStreams();
+        reest += h->reestablishedStreams();
+    }
+    Table t({"metric", "value"});
+    t.addRow({"switches / links", std::to_string(topo.numNodes()) +
+                                      " / " +
+                                      std::to_string(topo.numLinks())});
+    t.addRow({"streams (alive/lost/reestablished)",
+              std::to_string(streams) + "/" + std::to_string(lost) +
+                  "/" + std::to_string(reest)});
+    t.addRow({"stream flits delivered",
+              std::to_string(net.flitsDelivered() -
+                             net.datagramsDelivered())});
+    t.addRow({"datagrams delivered",
+              std::to_string(net.datagramsDelivered()) + "/" +
+                  std::to_string(net.datagramsSent())});
+    t.addRow({"mean e2e delay (cycles)",
+              Table::num(net.endToEnd().meanDelayCycles(), 2)});
+    t.addRow({"mean e2e jitter (cycles)",
+              Table::num(net.endToEnd().meanJitterCycles(), 3)});
+    t.addRow({"flits lost to failures",
+              std::to_string(net.flitsLostToFailures())});
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Cli cli;
+        cli.flag("mode", "router", "router | network");
+        // shared
+        cli.flag("sched", "biased",
+                 "biased|fixed|age|output-driven|autonet|islip|perfect");
+        cli.flag("candidates", "8", "candidates per input port");
+        cli.flag("vcs", "256", "virtual channels per port");
+        cli.flag("load", "0.7", "offered load fraction");
+        cli.flag("cycles", "100000", "measured cycles");
+        cli.flag("seed", "42", "random seed");
+        // router mode
+        cli.flag("ports", "8", "router degree");
+        cli.flag("gbps", "1.24", "link rate (Gb/s)");
+        cli.flag("flit", "128", "flit size (bits)");
+        cli.flag("k", "2", "round factor K");
+        cli.flag("warmup", "20000", "fixed warm-up cycles");
+        cli.flag("auto-warmup", "false",
+                 "size the warm-up by steady-state detection");
+        cli.flag("vbr", "0", "VBR share of the load");
+        cli.flag("be", "0", "best-effort share of the load");
+        cli.flag("fps", "500", "VBR frame rate");
+        cli.flag("peak", "3.0", "VBR peak/mean ratio");
+        cli.flag("concurrency", "2.0", "VBR concurrency factor");
+        cli.flag("be-reserve", "0", "round share reserved for BE");
+        cli.flag("abort-late", "false", "abort late video frames");
+        // network mode
+        cli.flag("topology", "mesh3x3",
+                 "meshWxH | torusWxH | ringN | irregularN");
+        cli.flag("fail-link", "", "a,b: fail this link mid-run");
+        if (!cli.parse(argc, argv))
+            return 0;
+
+        const std::string mode = cli.str("mode");
+        if (mode == "router")
+            return runRouterMode(cli);
+        if (mode == "network")
+            return runNetworkMode(cli);
+        mmr_fatal("unknown mode '", mode, "' (want router|network)");
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Extract the machine-readable CSV blocks from bench output.
+
+Every bench binary prints its plotted series between
+``# begin-csv <name>`` and ``# end-csv`` markers.  This script pulls
+those blocks out of one or more bench output files (or stdin) and
+writes each as ``<outdir>/<name>.csv``, ready for any plotting tool.
+
+Usage:
+    ./build/bench/fig4_delay | scripts/extract_csv.py -o plots/
+    scripts/extract_csv.py -o plots/ results/*.txt
+"""
+
+import argparse
+import pathlib
+import sys
+
+
+def extract(stream, outdir: pathlib.Path) -> list:
+    written = []
+    name, rows = None, []
+    for raw in stream:
+        line = raw.rstrip("\n")
+        if line.startswith("# begin-csv "):
+            name = line[len("# begin-csv "):].strip()
+            rows = []
+        elif line.startswith("# end-csv"):
+            if name is None:
+                sys.exit("error: '# end-csv' without '# begin-csv'")
+            path = outdir / f"{name}.csv"
+            path.write_text("\n".join(rows) + "\n")
+            written.append(path)
+            name = None
+        elif name is not None:
+            rows.append(line)
+    if name is not None:
+        sys.exit(f"error: unterminated csv block '{name}'")
+    return written
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="*",
+                        help="bench output files (default: stdin)")
+    parser.add_argument("-o", "--outdir", default=".",
+                        help="directory for the .csv files")
+    args = parser.parse_args()
+
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    written = []
+    if args.inputs:
+        for path in args.inputs:
+            with open(path) as f:
+                written += extract(f, outdir)
+    else:
+        written += extract(sys.stdin, outdir)
+
+    for path in written:
+        print(f"wrote {path}")
+    if not written:
+        print("no csv blocks found", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

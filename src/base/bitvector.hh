@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Status bit vectors (paper §4.1).
+ *
+ * The MMR trades silicon for scheduling speed by keeping one bit per
+ * virtual channel in vectors such as flits_available,
+ * credits_available, CBR_service_requested, CBR_bandwidth_serviced.
+ * Link schedulers combine these with wide AND/OR operations to obtain
+ * candidate sets in a few "gate delays".  This class is that hardware
+ * structure: a packed dynamic bit vector with fast word-parallel
+ * boolean algebra and set-bit iteration.
+ */
+
+#ifndef MMR_BASE_BITVECTOR_HH
+#define MMR_BASE_BITVECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mmr
+{
+
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Create a vector of @p nbits bits, all clear. */
+    explicit BitVector(std::size_t nbits);
+
+    /** Number of bits tracked. */
+    std::size_t size() const { return numBits; }
+
+    /** Resize (new bits are clear; content preserved). */
+    void resize(std::size_t nbits);
+
+    void set(std::size_t i);
+    void clear(std::size_t i);
+    void assign(std::size_t i, bool v);
+    bool test(std::size_t i) const;
+
+    /** Set/clear every bit. */
+    void setAll();
+    void clearAll();
+
+    /** Population count. */
+    std::size_t count() const;
+
+    /** True when no bit is set. */
+    bool none() const;
+
+    /** True when at least one bit is set. */
+    bool any() const { return !none(); }
+
+    /**
+     * Index of the first set bit at or after @p from, or size() when
+     * there is none.  Enables "for (i = v.findFirst(); i < v.size();
+     * i = v.findNext(i))" iteration over candidate sets.
+     */
+    std::size_t findFirst(std::size_t from = 0) const;
+
+    /** Index of the first set bit strictly after @p i, or size(). */
+    std::size_t findNext(std::size_t i) const { return findFirst(i + 1); }
+
+    /** Collect the indices of all set bits (ascending). */
+    std::vector<std::size_t> setBits() const;
+
+    /** Word-parallel boolean algebra (operands must match in size). */
+    BitVector &operator&=(const BitVector &o);
+    BitVector &operator|=(const BitVector &o);
+    BitVector &operator^=(const BitVector &o);
+
+    /** a &= ~b, the "exclude already-serviced channels" operation. */
+    BitVector &andNot(const BitVector &o);
+
+    /** Flip every bit (tail bits beyond size() stay clear). */
+    void invert();
+
+    friend BitVector operator&(BitVector a, const BitVector &b);
+    friend BitVector operator|(BitVector a, const BitVector &b);
+    friend BitVector operator^(BitVector a, const BitVector &b);
+
+    bool operator==(const BitVector &o) const;
+
+  private:
+    /** Clear the unused bits of the last word. */
+    void trimTail();
+
+    static constexpr std::size_t kWordBits = 64;
+
+    std::size_t numBits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace mmr
+
+#endif // MMR_BASE_BITVECTOR_HH

@@ -1,0 +1,56 @@
+#include "base/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mmr
+{
+
+namespace
+{
+std::atomic<unsigned> warn_counter{0};
+} // namespace
+
+unsigned
+warnCount()
+{
+    return warn_counter.load();
+}
+
+namespace detail
+{
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    // Thrown (rather than exit(1)) so the condition is testable; main()
+    // wrappers in benches/examples convert it to a clean error exit.
+    throw std::runtime_error(std::string("fatal: ") + msg + " (" + file +
+                             ":" + std::to_string(line) + ")");
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    warn_counter.fetch_add(1);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace mmr

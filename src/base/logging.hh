@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture the state.
+ * fatal()  — the user asked for something impossible (bad configuration);
+ *            exits with an error code.
+ * warn()/inform() — non-fatal status output.
+ */
+
+#ifndef MMR_BASE_LOGGING_HH
+#define MMR_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace mmr
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Number of warnings emitted so far (exposed for tests). */
+unsigned warnCount();
+
+} // namespace mmr
+
+#define mmr_panic(...) \
+    ::mmr::detail::panicImpl(__FILE__, __LINE__, \
+                             ::mmr::detail::concat(__VA_ARGS__))
+
+#define mmr_fatal(...) \
+    ::mmr::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::mmr::detail::concat(__VA_ARGS__))
+
+#define mmr_warn(...) \
+    ::mmr::detail::warnImpl(::mmr::detail::concat(__VA_ARGS__))
+
+#define mmr_inform(...) \
+    ::mmr::detail::informImpl(::mmr::detail::concat(__VA_ARGS__))
+
+/** panic() unless the stated internal invariant holds. */
+#define mmr_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::mmr::detail::panicImpl(__FILE__, __LINE__, \
+                ::mmr::detail::concat("assertion '", #cond, \
+                                      "' failed: ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // MMR_BASE_LOGGING_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * A thin, fully reproducible xoshiro256** generator plus the
+ * distributions the traffic models need (uniform, exponential, normal,
+ * lognormal, geometric picks).  std::mt19937 is avoided so that results
+ * are bit-identical across standard-library implementations.
+ */
+
+#ifndef MMR_BASE_RNG_HH
+#define MMR_BASE_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+/** xoshiro256** with a SplitMix64-seeded state. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Re-seed the generator deterministically. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, bound) with rejection (unbiased). */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /** Exponential variate with the given mean. */
+    double exponential(double mean);
+
+    /** Standard-normal variate (Box-Muller, cached pair). */
+    double normal();
+
+    /** Normal variate with mean/stddev. */
+    double normal(double mean, double stddev);
+
+    /** Lognormal variate parameterized by the mean/stddev of log(X). */
+    double lognormal(double mu, double sigma);
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        mmr_assert(!v.empty(), "pick() from empty vector");
+        return v[below(v.size())];
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = below(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t state_[4];
+    bool haveCachedNormal = false;
+    double cachedNormal = 0.0;
+};
+
+} // namespace mmr
+
+#endif // MMR_BASE_RNG_HH

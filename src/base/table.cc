@@ -1,0 +1,85 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+Table::Table(std::vector<std::string> headers) : cols(std::move(headers))
+{
+    mmr_assert(!cols.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    mmr_assert(cells.size() == cols.size(), "row width ", cells.size(),
+               " != header width ", cols.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(cols.size());
+    for (std::size_t c = 0; c < cols.size(); ++c)
+        width[c] = cols[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto rule = [&] {
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+            os << '+' << std::string(width[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+            os << "| " << std::left << std::setw(static_cast<int>(width[c]))
+               << cells[c] << ' ';
+        }
+        os << "|\n";
+    };
+
+    rule();
+    line(cols);
+    rule();
+    for (const auto &row : rows)
+        line(row);
+    rule();
+}
+
+void
+Table::printCsv(std::ostream &os, const std::string &name) const
+{
+    os << "# begin-csv " << name << "\n";
+    for (std::size_t c = 0; c < cols.size(); ++c)
+        os << cols[c] << (c + 1 < cols.size() ? "," : "\n");
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            os << row[c] << (c + 1 < cols.size() ? "," : "\n");
+    os << "# end-csv\n";
+}
+
+const std::string &
+Table::cell(std::size_t r, std::size_t c) const
+{
+    mmr_assert(r < rows.size() && c < cols.size(), "cell out of range");
+    return rows[r][c];
+}
+
+} // namespace mmr

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Result presentation: aligned ASCII tables and CSV blocks.
+ *
+ * Every bench binary prints the series a paper figure plots as (a) a
+ * human-readable table and (b) a machine-readable CSV block delimited
+ * by "# begin-csv <name>" / "# end-csv" markers, so plots can be
+ * regenerated directly from bench output.
+ */
+
+#ifndef MMR_BASE_TABLE_HH
+#define MMR_BASE_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mmr
+{
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 4);
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as a named CSV block. */
+    void printCsv(std::ostream &os, const std::string &name) const;
+
+    std::size_t numRows() const { return rows.size(); }
+    std::size_t numCols() const { return cols.size(); }
+    const std::string &cell(std::size_t r, std::size_t c) const;
+
+  private:
+    std::vector<std::string> cols;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace mmr
+
+#endif // MMR_BASE_TABLE_HH

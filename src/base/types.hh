@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every MMR module.
+ *
+ * The router core is simulated at flit-cycle granularity (paper §3.4):
+ * a Cycle counts flit cycles, and the physical duration of one flit
+ * cycle is derived from the flit size and the link rate.
+ */
+
+#ifndef MMR_BASE_TYPES_HH
+#define MMR_BASE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mmr
+{
+
+/** Simulated time in flit cycles. */
+using Cycle = std::uint64_t;
+
+/** Physical port index on a router (input or output side). */
+using PortId = std::uint16_t;
+
+/** Virtual channel index within one physical port. */
+using VcId = std::uint16_t;
+
+/** Globally unique connection identifier. */
+using ConnId = std::uint32_t;
+
+/** Node (router or host) identifier at the network level. */
+using NodeId = std::uint32_t;
+
+/** Sentinel values for "not assigned". */
+constexpr PortId kInvalidPort = std::numeric_limits<PortId>::max();
+constexpr VcId kInvalidVc = std::numeric_limits<VcId>::max();
+constexpr ConnId kInvalidConn = std::numeric_limits<ConnId>::max();
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/** Bit-rate helpers (paper quotes rates in Kb/s, Mb/s and Gb/s). */
+constexpr double kKbps = 1e3;
+constexpr double kMbps = 1e6;
+constexpr double kGbps = 1e9;
+
+/**
+ * Duration of one flit cycle in nanoseconds.
+ *
+ * With 128-bit flits on a 1.24 Gb/s link this is ~103.2 ns, which is the
+ * paper's "router cycle" used on the jitter axes of Figures 3 and 5.
+ *
+ * @param flit_bits flit size in bits
+ * @param link_rate_bps physical link rate in bits/second
+ */
+constexpr double
+flitCycleNs(unsigned flit_bits, double link_rate_bps)
+{
+    return 1e9 * static_cast<double>(flit_bits) / link_rate_bps;
+}
+
+/**
+ * Constant flit inter-arrival time of a CBR connection, in flit cycles.
+ *
+ * A connection of rate r on a link of rate R produces one flit every
+ * R/r flit cycles (paper §5: admission control keeps inter-arrival
+ * constant on CBR connections).
+ */
+constexpr double
+interArrivalCycles(double conn_rate_bps, double link_rate_bps)
+{
+    return link_rate_bps / conn_rate_bps;
+}
+
+} // namespace mmr
+
+#endif // MMR_BASE_TYPES_HH

@@ -1,0 +1,340 @@
+#include "harness/single_router.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "metrics/steady_state.hh"
+#include "sim/kernel.hh"
+#include "traffic/rates.hh"
+
+namespace mmr
+{
+
+SingleRouterExperiment::SingleRouterExperiment(const ExperimentConfig &c)
+    : cfg(c), rng(c.seed), inputDemand(c.router.numPorts, 0.0),
+      outputDemand(c.router.numPorts, 0.0)
+{
+    if (cfg.rateLadder.empty())
+        cfg.rateLadder = paperRateLadder();
+    if (cfg.offeredLoad < 0.0 || cfg.offeredLoad > 1.0)
+        mmr_fatal("offered load must be in [0,1], got ", cfg.offeredLoad);
+    const double mix_total = cfg.mix.total();
+    if (mix_total <= 0.0)
+        mmr_fatal("workload mix shares must sum to a positive value");
+
+    RouterConfig rc = cfg.router;
+    rc.seed = cfg.seed ^ 0x5eedf00dULL;
+    dut = std::make_unique<MmrRouter>(rc, &recorder);
+
+    // Frame-deadline accounting for VBR flits: the injection path
+    // stamps each flit with its frame's deadline (Flit::arg); a flit
+    // leaving the switch later than that is a miss (§4.3).  Flits the
+    // *source* already emitted past the deadline (an oversized frame
+    // that cannot fit its slot even at peak rate) are excluded — they
+    // measure the traffic model, not the scheduler.
+    dut->setSink([this](PortId, VcId, const Flit &f, Cycle now) {
+        // Windowed delay accumulation (steady-state detection).
+        windowDelaySum += static_cast<double>(now - f.readyTime);
+        ++windowDelayCount;
+        if (f.klass != TrafficClass::VBR || f.arg <= 0.0)
+            return;
+        if (!recorder.measuring(now))
+            return;
+        if (static_cast<double>(f.createTime) > f.arg)
+            return; // source-inherent lateness
+        auto &[misses, total] = deadlineByConn[f.conn];
+        ++total;
+        if (static_cast<double>(now) > f.arg)
+            ++misses;
+    });
+}
+
+SingleRouterExperiment::~SingleRouterExperiment() = default;
+
+bool
+SingleRouterExperiment::addCbrConnection(double rate_bps)
+{
+    const unsigned ports = cfg.router.numPorts;
+    const double link = cfg.router.linkRateBps;
+    // Try several random port pairs before giving up: a single output
+    // may be full while others still have room.
+    for (unsigned attempt = 0; attempt < 4 * ports; ++attempt) {
+        const auto in = static_cast<PortId>(rng.below(ports));
+        const auto out = static_cast<PortId>(rng.below(ports));
+        if (inputDemand[in] + rate_bps > link ||
+            outputDemand[out] + rate_bps > link)
+            continue;
+        const ConnId id = dut->openCbr(in, out, rate_bps);
+        if (id == kInvalidConn)
+            continue;
+        inputDemand[in] += rate_bps;
+        outputDemand[out] += rate_bps;
+        admittedBps += rate_bps;
+        Stream s;
+        s.conn = id;
+        s.klass = TrafficClass::CBR;
+        s.source = std::make_unique<CbrSource>(rate_bps, link, rng);
+        streams.push_back(std::move(s));
+        return true;
+    }
+    return false;
+}
+
+bool
+SingleRouterExperiment::addVbrConnection(double mean_rate_bps)
+{
+    const unsigned ports = cfg.router.numPorts;
+    const double link = cfg.router.linkRateBps;
+    const double peak_bps = mean_rate_bps * cfg.mix.vbrProfile.peakToMean;
+    if (peak_bps > link)
+        return false;
+    for (unsigned attempt = 0; attempt < 4 * ports; ++attempt) {
+        const auto in = static_cast<PortId>(rng.below(ports));
+        const auto out = static_cast<PortId>(rng.below(ports));
+        if (inputDemand[in] + mean_rate_bps > link ||
+            outputDemand[out] + mean_rate_bps > link)
+            continue;
+        const int prio = static_cast<int>(
+            rng.below(std::max(1, cfg.mix.vbrPriorityLevels)));
+        const ConnId id = dut->openVbr(in, out, mean_rate_bps, peak_bps,
+                                       prio);
+        if (id == kInvalidConn)
+            continue;
+        inputDemand[in] += mean_rate_bps;
+        outputDemand[out] += mean_rate_bps;
+        admittedBps += mean_rate_bps;
+        VbrProfile prof = cfg.mix.vbrProfile;
+        prof.meanRateBps = mean_rate_bps;
+        Stream s;
+        s.conn = id;
+        s.klass = TrafficClass::VBR;
+        auto src = std::make_unique<VbrSource>(prof, link,
+                                               cfg.router.flitBits, rng);
+        s.vbr = src.get();
+        s.source = std::move(src);
+        streams.push_back(std::move(s));
+        return true;
+    }
+    return false;
+}
+
+bool
+SingleRouterExperiment::addBestEffortFlow(double rate_bps)
+{
+    const unsigned ports = cfg.router.numPorts;
+    const double link = cfg.router.linkRateBps;
+    for (unsigned attempt = 0; attempt < 4 * ports; ++attempt) {
+        const auto in = static_cast<PortId>(rng.below(ports));
+        const auto out = static_cast<PortId>(rng.below(ports));
+        if (inputDemand[in] + rate_bps > link ||
+            outputDemand[out] + rate_bps > link)
+            continue;
+        const ConnId id = dut->openBestEffort(in, out);
+        if (id == kInvalidConn)
+            continue;
+        inputDemand[in] += rate_bps;
+        outputDemand[out] += rate_bps;
+        admittedBps += rate_bps;
+        Stream s;
+        s.conn = id;
+        s.klass = TrafficClass::BestEffort;
+        s.source = std::make_unique<PoissonSource>(rate_bps, link, rng);
+        streams.push_back(std::move(s));
+        return true;
+    }
+    return false;
+}
+
+void
+SingleRouterExperiment::buildWorkload()
+{
+    mmr_assert(!built, "workload already built");
+    built = true;
+
+    const double capacity =
+        cfg.router.linkRateBps * cfg.router.numPorts;
+    const double mix_total = cfg.mix.total();
+    const double cbr_target =
+        capacity * cfg.offeredLoad * cfg.mix.cbrShare / mix_total;
+    const double vbr_target =
+        capacity * cfg.offeredLoad * cfg.mix.vbrShare / mix_total;
+    const double be_target =
+        capacity * cfg.offeredLoad * cfg.mix.beShare / mix_total;
+    // Allow a small overshoot so the last connection can land.
+    const double tol = capacity * 0.002;
+
+    // CBR connections drawn from the rate ladder (§5).
+    double cbr_admitted = 0.0;
+    unsigned failures = 0;
+    while (cbr_admitted < cbr_target && failures < 64) {
+        std::vector<double> fitting;
+        for (double r : cfg.rateLadder)
+            if (cbr_admitted + r <= cbr_target + tol)
+                fitting.push_back(r);
+        if (fitting.empty())
+            break;
+        const double rate = rng.pick(fitting);
+        if (addCbrConnection(rate)) {
+            cbr_admitted += rate;
+            failures = 0;
+        } else {
+            ++failures;
+        }
+    }
+
+    // VBR connections: mean rates from the video-like upper ladder.
+    double vbr_admitted = 0.0;
+    failures = 0;
+    while (vbr_admitted < vbr_target && failures < 64) {
+        std::vector<double> fitting;
+        for (double r : cfg.rateLadder)
+            if (r >= 1.0 * kMbps &&
+                vbr_admitted + r <= vbr_target + tol)
+                fitting.push_back(r);
+        if (fitting.empty())
+            break;
+        const double rate = rng.pick(fitting);
+        if (addVbrConnection(rate)) {
+            vbr_admitted += rate;
+            failures = 0;
+        } else {
+            ++failures;
+        }
+    }
+
+    // Best-effort background: Poisson flows of a few Mb/s each.
+    double be_admitted = 0.0;
+    failures = 0;
+    const double be_flow_rate = 5.0 * kMbps;
+    while (be_target > 0.0 &&
+           be_admitted + be_flow_rate <= be_target + tol &&
+           failures < 64) {
+        if (addBestEffortFlow(be_flow_rate)) {
+            be_admitted += be_flow_rate;
+            failures = 0;
+        } else {
+            ++failures;
+        }
+    }
+}
+
+void
+SingleRouterExperiment::injectArrivals(Cycle now)
+{
+    for (Stream &s : streams) {
+        const unsigned n = s.source->arrivals(now);
+        for (unsigned k = 0; k < n; ++k) {
+            if (s.vbr != nullptr && cfg.mix.abortLateFrames &&
+                static_cast<double>(now) >
+                    s.vbr->currentFrameDeadline()) {
+                // §4.3: the interface aborts the rest of a frame that
+                // has already missed its deadline rather than wasting
+                // link bandwidth on it.
+                ++abortedFlitCount;
+                continue;
+            }
+            Flit f;
+            f.conn = s.conn;
+            f.seq = s.seq++;
+            f.createTime = now;
+            f.readyTime = now;
+            if (s.vbr != nullptr)
+                f.arg = s.vbr->currentFrameDeadline();
+            dut->inject(s.conn, f);
+        }
+    }
+}
+
+ExperimentResult
+SingleRouterExperiment::run()
+{
+    buildWorkload();
+
+    Kernel kernel;
+    kernel.add(dut.get(), "router");
+
+    Cycle warmup = cfg.warmupCycles;
+    if (cfg.autoWarmup) {
+        // §5: run until steady state, watching windowed mean delay.
+        SteadyStateDetector det(cfg.warmupWindow);
+        while (!det.steady() && kernel.now() < cfg.maxWarmupCycles) {
+            windowDelaySum = 0.0;
+            windowDelayCount = 0;
+            const Cycle end = kernel.now() + cfg.warmupWindow;
+            while (kernel.now() < end) {
+                injectArrivals(kernel.now());
+                kernel.step();
+            }
+            det.addWindow(windowDelayCount
+                              ? windowDelaySum /
+                                    static_cast<double>(windowDelayCount)
+                              : 0.0);
+        }
+        warmup = kernel.now();
+    }
+
+    recorder.startMeasurement(warmup);
+    const Cycle total = warmup + cfg.measureCycles;
+    while (kernel.now() < total) {
+        injectArrivals(kernel.now());
+        kernel.step();
+    }
+
+    ExperimentResult r;
+    r.warmupUsed = warmup;
+    r.offeredLoad = cfg.offeredLoad;
+    r.achievedLoad =
+        admittedBps / (cfg.router.linkRateBps * cfg.router.numPorts);
+    r.connections = static_cast<unsigned>(streams.size());
+    r.meanDelayCycles = recorder.meanDelayCycles();
+    r.flitCycleNanos = cfg.router.flitCycleNanos();
+    r.meanDelayUs = r.meanDelayCycles * r.flitCycleNanos / 1000.0;
+    r.meanJitterCycles = recorder.meanJitterCycles();
+    r.p99DelayCycles = recorder.delayPercentile(99.0);
+    r.utilization = recorder.switchUtilization();
+    r.flitsDelivered = recorder.measuredFlits();
+    r.injectionRejects = dut->injectionRejects();
+    r.abortedFlits = abortedFlitCount;
+
+    for (const Stream &s : streams) {
+        const ConnectionRecorder *rec = recorder.connection(s.conn);
+        if (rec == nullptr)
+            continue;
+        ClassResult *cls = nullptr;
+        switch (s.klass) {
+          case TrafficClass::CBR:
+            cls = &r.cbr;
+            break;
+          case TrafficClass::VBR:
+            cls = &r.vbr;
+            break;
+          case TrafficClass::BestEffort:
+            cls = &r.bestEffort;
+            break;
+          case TrafficClass::Control:
+            break;
+        }
+        if (cls != nullptr) {
+            cls->delayCycles.merge(rec->delay());
+            cls->jitterCycles.merge(rec->jitter());
+            cls->flits += rec->delay().count();
+        }
+        if (s.klass == TrafficClass::VBR) {
+            auto it = deadlineByConn.find(s.conn);
+            if (it != deadlineByConn.end()) {
+                r.vbr.deadlineMisses += it->second.first;
+                r.vbr.deadlineTotal += it->second.second;
+            }
+        }
+    }
+    return r;
+}
+
+ExperimentResult
+runSingleRouter(const ExperimentConfig &cfg)
+{
+    SingleRouterExperiment exp(cfg);
+    return exp.run();
+}
+
+} // namespace mmr

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The §5 simulation study, as a reusable harness.
+ *
+ * "The following experiments represent an 8x8 router with 256 virtual
+ * channels/input port, 1.24 Gbps physical links and 128-bit flits. ...
+ * Connections were randomly selected from the set (64 Kbps ... 120
+ * Mbps) and assigned to random input and output ports on the router.
+ * The offered load is computed as the percentage of switch bandwidth
+ * demanded by all connections through the router."
+ *
+ * The harness builds such a workload at a target offered load (with
+ * admission control on both the input and the output link), runs a
+ * warm-up followed by a measured steady-state window, and reports the
+ * paper's metrics: mean switch delay (flit cycles and microseconds),
+ * mean jitter (flit cycles), and switch utilization.  Extensions add
+ * VBR and best-effort shares for the hybrid-traffic benches.
+ */
+
+#ifndef MMR_HARNESS_SINGLE_ROUTER_HH
+#define MMR_HARNESS_SINGLE_ROUTER_HH
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "metrics/recorder.hh"
+#include "router/router.hh"
+#include "traffic/besteffort_source.hh"
+#include "traffic/cbr_source.hh"
+#include "traffic/vbr_source.hh"
+
+namespace mmr
+{
+
+/** Traffic composition of the offered load. */
+struct WorkloadMix
+{
+    double cbrShare = 1.0; ///< share of load from CBR connections
+    double vbrShare = 0.0; ///< share from VBR connections (mean rate)
+    double beShare = 0.0;  ///< share from best-effort Poisson traffic
+    VbrProfile vbrProfile; ///< template for VBR streams
+    int vbrPriorityLevels = 4; ///< user priorities drawn uniformly
+
+    /**
+     * §4.3: "The network interface may decide to abort the
+     * transmission of that frame.  By doing so, less bandwidth is
+     * wasted in the transmission of a frame that will not meet the
+     * deadline."  When set, the interface stops injecting the rest of
+     * a video frame once its deadline has passed.
+     */
+    bool abortLateFrames = false;
+
+    double total() const { return cbrShare + vbrShare + beShare; }
+};
+
+struct ExperimentConfig
+{
+    RouterConfig router;
+    double offeredLoad = 0.5; ///< fraction of aggregate switch bw
+    Cycle warmupCycles = 20000;
+    Cycle measureCycles = 100000;
+    std::uint64_t seed = 42;
+    std::vector<double> rateLadder; ///< empty -> paperRateLadder()
+    WorkloadMix mix;
+
+    /**
+     * §5 methodology: "run until steady state was reached".  When
+     * set, the warm-up length is determined by a steady-state
+     * detector on windowed mean delay instead of warmupCycles, capped
+     * at maxWarmupCycles.
+     */
+    bool autoWarmup = false;
+    Cycle warmupWindow = 2000;   ///< detector window (cycles)
+    Cycle maxWarmupCycles = 200000;
+};
+
+/** Per-service-class aggregate results. */
+struct ClassResult
+{
+    StreamStat delayCycles;
+    StreamStat jitterCycles;
+    std::uint64_t flits = 0;
+
+    /** Frame-deadline accounting (VBR only, §4.3): a flit misses when
+     * it leaves the switch after its frame's slot has ended. */
+    std::uint64_t deadlineMisses = 0;
+    std::uint64_t deadlineTotal = 0;
+
+    double
+    deadlineMissRate() const
+    {
+        return deadlineTotal
+                   ? static_cast<double>(deadlineMisses) /
+                         static_cast<double>(deadlineTotal)
+                   : 0.0;
+    }
+};
+
+struct ExperimentResult
+{
+    double offeredLoad = 0.0;  ///< requested
+    double achievedLoad = 0.0; ///< admitted demand / capacity
+    unsigned connections = 0;
+
+    double meanDelayCycles = 0.0;
+    double meanDelayUs = 0.0;
+    double meanJitterCycles = 0.0;
+    double p99DelayCycles = 0.0;
+    double utilization = 0.0;
+
+    std::uint64_t flitsDelivered = 0;
+    std::uint64_t injectionRejects = 0;
+    std::uint64_t abortedFlits = 0; ///< dropped by late-frame aborts
+    Cycle warmupUsed = 0; ///< actual warm-up (autoWarmup may shorten)
+
+    ClassResult cbr;
+    ClassResult vbr;
+    ClassResult bestEffort;
+
+    double flitCycleNanos = 0.0;
+};
+
+class SingleRouterExperiment
+{
+  public:
+    explicit SingleRouterExperiment(const ExperimentConfig &cfg);
+    ~SingleRouterExperiment();
+
+    SingleRouterExperiment(const SingleRouterExperiment &) = delete;
+    SingleRouterExperiment &
+    operator=(const SingleRouterExperiment &) = delete;
+
+    /** Build the workload, run warm-up + measurement, and report. */
+    ExperimentResult run();
+
+    /** Router access for white-box tests. */
+    MmrRouter &router() { return *dut; }
+    MetricsRecorder &metrics() { return recorder; }
+
+    /** Connections established by buildWorkload (after run()). */
+    unsigned connectionCount() const
+    {
+        return static_cast<unsigned>(streams.size());
+    }
+
+    /** Per-connection VBR deadline stats: conn -> {misses, total}. */
+    const std::unordered_map<ConnId,
+                             std::pair<std::uint64_t, std::uint64_t>> &
+    deadlineStats() const
+    {
+        return deadlineByConn;
+    }
+
+  private:
+    struct Stream
+    {
+        ConnId conn;
+        TrafficClass klass;
+        std::unique_ptr<TrafficSource> source;
+        VbrSource *vbr = nullptr; ///< non-owning view for deadlines
+        std::uint32_t seq = 0;
+    };
+
+    void buildWorkload();
+    bool addCbrConnection(double rate_bps);
+    bool addVbrConnection(double mean_rate_bps);
+    bool addBestEffortFlow(double rate_bps);
+    void injectArrivals(Cycle now);
+
+    ExperimentConfig cfg;
+    MetricsRecorder recorder;
+    std::unique_ptr<MmrRouter> dut;
+    Rng rng;
+
+    std::vector<Stream> streams;
+    std::vector<double> inputDemand;  ///< admitted bits/s per input
+    std::vector<double> outputDemand; ///< admitted bits/s per output
+    std::unordered_map<ConnId, std::pair<std::uint64_t, std::uint64_t>>
+        deadlineByConn;
+    std::uint64_t abortedFlitCount = 0;
+    /** Windowed delay accumulation for the steady-state detector. */
+    double windowDelaySum = 0.0;
+    std::uint64_t windowDelayCount = 0;
+    double admittedBps = 0.0;
+    bool built = false;
+};
+
+/** Convenience wrapper: configure, run, return the result. */
+ExperimentResult runSingleRouter(const ExperimentConfig &cfg);
+
+} // namespace mmr
+
+#endif // MMR_HARNESS_SINGLE_ROUTER_HH

@@ -1,0 +1,97 @@
+#include "metrics/recorder.hh"
+
+#include <cmath>
+
+namespace mmr
+{
+
+void
+ConnectionRecorder::record(double delay_cycles, bool measured)
+{
+    ++flits;
+    if (measured) {
+        delayStat.add(delay_cycles);
+        if (haveLast)
+            jitterStat.add(std::fabs(delay_cycles - lastDelay));
+    }
+    lastDelay = delay_cycles;
+    haveLast = true;
+}
+
+void
+MetricsRecorder::recordDeparture(ConnId conn, Cycle now,
+                                 double delay_cycles)
+{
+    const bool measured = measuring(now);
+    perConn[conn].record(delay_cycles, measured);
+    if (measured)
+        delaySketch.add(delay_cycles);
+}
+
+void
+MetricsRecorder::recordOutputSlot(bool used, Cycle now)
+{
+    if (!measuring(now))
+        return;
+    if (used)
+        outputSlots.addHit();
+    else
+        outputSlots.addMiss();
+}
+
+void
+MetricsRecorder::recordOutputSlots(unsigned flits, unsigned ports,
+                                   Cycle now)
+{
+    if (!measuring(now))
+        return;
+    outputSlots.addHit(flits);
+    if (ports > flits)
+        outputSlots.addMiss(ports - flits);
+}
+
+double
+MetricsRecorder::meanDelayCycles() const
+{
+    StreamStat all;
+    for (const auto &[conn, rec] : perConn)
+        all.merge(rec.delay());
+    return all.mean();
+}
+
+double
+MetricsRecorder::meanJitterCycles() const
+{
+    StreamStat all;
+    for (const auto &[conn, rec] : perConn)
+        all.merge(rec.jitter());
+    return all.mean();
+}
+
+std::uint64_t
+MetricsRecorder::measuredFlits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[conn, rec] : perConn)
+        n += rec.delay().count();
+    return n;
+}
+
+const ConnectionRecorder *
+MetricsRecorder::connection(ConnId conn) const
+{
+    auto it = perConn.find(conn);
+    return it == perConn.end() ? nullptr : &it->second;
+}
+
+std::vector<ConnId>
+MetricsRecorder::connections() const
+{
+    std::vector<ConnId> ids;
+    ids.reserve(perConn.size());
+    for (const auto &[conn, rec] : perConn)
+        ids.push_back(conn);
+    return ids;
+}
+
+} // namespace mmr

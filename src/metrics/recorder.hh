@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Delay/jitter measurement exactly as defined in §5:
+ *
+ *  - delay: difference between the cycle a flit is ready to be
+ *    transmitted through the switch and the cycle it actually leaves
+ *    the switch;
+ *  - jitter: the difference in the delays of successive flits on a
+ *    connection (recorded as |d_i - d_{i-1}| in flit cycles).
+ *
+ * Recorders gate on a warm-up boundary so statistics cover only the
+ * steady-state window (§5 gathers ~100,000 cycles after steady state).
+ */
+
+#ifndef MMR_METRICS_RECORDER_HH
+#define MMR_METRICS_RECORDER_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace mmr
+{
+
+/** Per-connection delay and jitter accumulators. */
+class ConnectionRecorder
+{
+  public:
+    /**
+     * Record one flit leaving the switch.
+     * @param delay_cycles switch delay of the flit in flit cycles
+     * @param measured false during warm-up: updates the jitter
+     *                 reference but not the statistics
+     */
+    void record(double delay_cycles, bool measured);
+
+    const StreamStat &delay() const { return delayStat; }
+    const StreamStat &jitter() const { return jitterStat; }
+    std::uint64_t flitCount() const { return flits; }
+
+  private:
+    StreamStat delayStat;
+    StreamStat jitterStat;
+    double lastDelay = 0.0;
+    bool haveLast = false;
+    std::uint64_t flits = 0;
+};
+
+/** Whole-experiment aggregation across connections. */
+class MetricsRecorder
+{
+  public:
+    /** Start measuring (end of warm-up). */
+    void startMeasurement(Cycle now) { measureStart = now; }
+    bool measuring(Cycle now) const { return now >= measureStart; }
+
+    void recordDeparture(ConnId conn, Cycle now, double delay_cycles);
+
+    /** One switch output port opportunity: used or idle this cycle. */
+    void recordOutputSlot(bool used, Cycle now);
+
+    /**
+     * Batch form: @p flits forwarded out of @p ports output-link slots
+     * this cycle.  With an N-times-speedup (perfect) switch several
+     * flits can share one output slot, so utilization is defined as
+     * carried flits over link slots (never exceeds 1: at most one flit
+     * enters per input link per cycle).
+     */
+    void recordOutputSlots(unsigned flits, unsigned ports, Cycle now);
+
+    /** Aggregate mean delay over all measured flits (flit cycles). */
+    double meanDelayCycles() const;
+
+    /** Aggregate mean |jitter| over all measured flit pairs (cycles). */
+    double meanJitterCycles() const;
+
+    /** Fraction of output-port slots carrying a flit. */
+    double switchUtilization() const { return outputSlots.ratio(); }
+
+    std::uint64_t measuredFlits() const;
+
+    /** 99th percentile of measured flit delays (flit cycles). */
+    double delayPercentile(double p) const { return delaySketch.percentile(p); }
+
+    const ConnectionRecorder *connection(ConnId conn) const;
+    std::vector<ConnId> connections() const;
+
+  private:
+    std::unordered_map<ConnId, ConnectionRecorder> perConn;
+    RatioStat outputSlots;
+    PercentileSketch delaySketch;
+    Cycle measureStart = 0;
+};
+
+} // namespace mmr
+
+#endif // MMR_METRICS_RECORDER_HH

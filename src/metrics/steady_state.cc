@@ -1,0 +1,41 @@
+#include "metrics/steady_state.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+SteadyStateDetector::SteadyStateDetector(Cycle window_cycles,
+                                         double tolerance,
+                                         unsigned stable_windows)
+    : windowCycles(window_cycles), tol(tolerance),
+      needed(stable_windows)
+{
+    mmr_assert(window_cycles > 0, "window length must be positive");
+    mmr_assert(tolerance > 0.0, "tolerance must be positive");
+    mmr_assert(stable_windows >= 1, "need at least one stable window");
+}
+
+void
+SteadyStateDetector::addWindow(double value)
+{
+    if (!history.empty() && !isSteady) {
+        const double prev = history.back();
+        const double scale = std::max({std::fabs(prev),
+                                       std::fabs(value), 1e-9});
+        if (std::fabs(value - prev) / scale <= tol) {
+            if (++agreeing >= needed) {
+                isSteady = true;
+                steadyWindow = history.size();
+            }
+        } else {
+            agreeing = 0;
+        }
+    }
+    history.push_back(value);
+}
+
+} // namespace mmr

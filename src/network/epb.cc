@@ -1,0 +1,180 @@
+#include "network/epb.hh"
+
+#include <algorithm>
+
+#include "base/bitvector.hh"
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+namespace
+{
+
+/** Try to reserve the connection's demand on one output link. */
+bool
+reserveHop(MmrRouter &router, PortId out, const SetupRequest &req,
+           VcId &out_vc)
+{
+    AdmissionController &admit = router.admission();
+    bool admitted = false;
+    if (req.klass == TrafficClass::CBR)
+        admitted = admit.tryAdmitCbr(out, req.allocCycles);
+    else if (req.klass == TrafficClass::VBR)
+        admitted = admit.tryAdmitVbr(out, req.permCycles, req.peakCycles);
+    else
+        mmr_panic("EPB establishes CBR/VBR connections only");
+    if (!admitted)
+        return false;
+
+    out_vc = router.routing().allocOutputVc(out);
+    if (out_vc == kInvalidVc) {
+        if (req.klass == TrafficClass::CBR)
+            admit.releaseCbr(out, req.allocCycles);
+        else
+            admit.releaseVbr(out, req.permCycles, req.peakCycles);
+        return false;
+    }
+    return true;
+}
+
+void
+releaseHop(MmrRouter &router, const ReservedHop &hop,
+           const SetupRequest &req)
+{
+    router.routing().freeOutputVc(hop.out, hop.outVc);
+    if (req.klass == TrafficClass::CBR)
+        router.admission().releaseCbr(hop.out, req.allocCycles);
+    else
+        router.admission().releaseVbr(hop.out, req.permCycles,
+                                      req.peakCycles);
+}
+
+} // namespace
+
+std::vector<unsigned>
+survivingDistances(const Topology &topo, NodeId dst,
+                   const std::function<bool(NodeId, PortId)> &link_ok)
+{
+    if (!link_ok)
+        return topo.bfsDistances(dst);
+    constexpr unsigned inf = ~0u;
+    std::vector<unsigned> dist(topo.numNodes(), inf);
+    std::vector<NodeId> frontier{dst};
+    dist[dst] = 0;
+    while (!frontier.empty()) {
+        std::vector<NodeId> next;
+        for (NodeId n : frontier) {
+            for (const auto &p : topo.ports(n)) {
+                // The link is traversed neighbor -> n here, but
+                // failures take out both directions.
+                if (!link_ok(p.neighbor, p.remotePort))
+                    continue;
+                if (dist[p.neighbor] == inf) {
+                    dist[p.neighbor] = dist[n] + 1;
+                    next.push_back(p.neighbor);
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+    return dist;
+}
+
+SetupResult
+establishPath(const Topology &topo,
+              const std::function<MmrRouter &(NodeId)> &router_at,
+              const std::function<PortId(NodeId)> &ni_port_of,
+              const SetupRequest &req, SetupPolicy policy, Rng &rng,
+              const std::function<bool(NodeId, PortId)> &link_ok)
+{
+    mmr_assert(req.src < topo.numNodes() && req.dst < topo.numNodes(),
+               "setup endpoints out of range");
+    mmr_assert(req.src != req.dst, "connection to self");
+
+    SetupResult res;
+    // Minimal-path distances over the *surviving* graph: a link that
+    // failed must neither count as a shortcut nor attract probes.
+    const std::vector<unsigned> dist =
+        survivingDistances(topo, req.dst, link_ok);
+    if (dist[req.src] == ~0u) {
+        res.accepted = false;
+        return res; // destination unreachable on surviving links
+    }
+
+    // Probe-local history: which output links have been searched at
+    // each visited node.  (The hardware keeps this per input virtual
+    // channel in the routing unit; the synchronous search keeps it
+    // with the probe, which is semantically equivalent because a probe
+    // occupies exactly one input VC per visited router.)
+    std::vector<BitVector> searched(topo.numNodes());
+    auto searched_at = [&](NodeId n) -> BitVector & {
+        if (searched[n].size() == 0)
+            searched[n].resize(topo.degree(n) + 1);
+        return searched[n];
+    };
+
+    NodeId cur = req.src;
+    for (;;) {
+        if (cur == req.dst) {
+            // Reserve the final hop onto the destination host link.
+            const PortId ni = ni_port_of(cur);
+            VcId vc = kInvalidVc;
+            if (reserveHop(router_at(cur), ni, req, vc)) {
+                res.hops.push_back(ReservedHop{cur, ni, vc});
+                res.accepted = true;
+                return res;
+            }
+            // The host link itself is saturated: nothing to search
+            // here, treat as a dead end and backtrack.
+            searched_at(cur).set(ni);
+        }
+
+        if (cur != req.dst) {
+            // Profitable candidates: minimal-path neighbors whose
+            // link has not been searched yet, in random order.
+            std::vector<PortId> cands;
+            for (const auto &p : topo.ports(cur)) {
+                if (dist[p.neighbor] + 1 != dist[cur])
+                    continue;
+                if (searched_at(cur).test(p.localPort))
+                    continue;
+                if (link_ok && !link_ok(cur, p.localPort))
+                    continue;
+                cands.push_back(p.localPort);
+            }
+            rng.shuffle(cands);
+
+            bool advanced = false;
+            for (PortId out : cands) {
+                searched_at(cur).set(out);
+                VcId vc = kInvalidVc;
+                if (!reserveHop(router_at(cur), out, req, vc))
+                    continue;
+                res.hops.push_back(ReservedHop{cur, out, vc});
+                cur = topo.neighborAt(cur, out);
+                ++res.forwardSteps;
+                advanced = true;
+                break;
+            }
+            if (advanced)
+                continue;
+        }
+
+        // Dead end: backtrack (EPB) or give up (greedy).
+        if (policy == SetupPolicy::Greedy || res.hops.empty()) {
+            for (auto it = res.hops.rbegin(); it != res.hops.rend(); ++it)
+                releaseHop(router_at(it->node), *it, req);
+            res.hops.clear();
+            res.accepted = false;
+            return res;
+        }
+        const ReservedHop hop = res.hops.back();
+        res.hops.pop_back();
+        releaseHop(router_at(hop.node), hop, req);
+        cur = hop.node;
+        ++res.backtrackSteps;
+    }
+}
+
+} // namespace mmr

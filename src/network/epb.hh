@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Connection establishment by Exhaustive Profitable Backtracking
+ * (§3.5, §4.2; Gaughan & Yalamanchili [17]).
+ *
+ * "Exhaustive profitable backtracking (EPB) will be used when
+ * establishing connections.  This algorithm performs an exhaustive
+ * search of the minimal paths in the network until a valid path is
+ * found or the probe backtracks to the source node."  At every hop
+ * the probe reserves link bandwidth (admission registers) and an
+ * output virtual channel; when no unsearched profitable link remains
+ * it backtracks, releasing the hop's resources and recording the link
+ * in the history store so it is never searched twice.
+ *
+ * The search here is algorithmic (the probe walk is executed
+ * synchronously against the routers' real admission and VC state);
+ * the step counts it returns convert into setup latency via the
+ * per-hop probe cost.  A greedy non-backtracking policy is provided
+ * as the baseline for bench_network_epb.
+ */
+
+#ifndef MMR_NETWORK_EPB_HH
+#define MMR_NETWORK_EPB_HH
+
+#include <functional>
+#include <vector>
+
+#include "base/rng.hh"
+#include "network/topology.hh"
+#include "router/router.hh"
+
+namespace mmr
+{
+
+enum class SetupPolicy
+{
+    Epb,   ///< exhaustive profitable backtracking
+    Greedy ///< first profitable link only; fail on a dead end
+};
+
+/** Resource demand of the connection being established. */
+struct SetupRequest
+{
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    TrafficClass klass = TrafficClass::CBR;
+    unsigned allocCycles = 0; ///< CBR demand (cycles/round)
+    unsigned permCycles = 0;  ///< VBR permanent demand
+    unsigned peakCycles = 0;  ///< VBR peak demand
+};
+
+/** One reserved hop: the output side of a router along the path. */
+struct ReservedHop
+{
+    NodeId node = kInvalidNode;
+    PortId out = kInvalidPort;
+    VcId outVc = kInvalidVc;
+};
+
+struct SetupResult
+{
+    bool accepted = false;
+    /** Reserved hops from the source router to the destination NI
+     * port (the last hop's out is the NI port of dst). */
+    std::vector<ReservedHop> hops;
+    unsigned forwardSteps = 0;
+    unsigned backtrackSteps = 0;
+};
+
+/**
+ * Run the path search, reserving admission bandwidth and output VCs
+ * hop by hop.  On failure every reservation is released.
+ *
+ * @param topo the router graph
+ * @param router_at accessor for the per-node routers
+ * @param ni_port_of the host-interface port index of each node
+ * @param req connection demand
+ * @param policy Epb or Greedy
+ * @param rng randomizes the order profitable links are tried
+ * @param link_ok optional health filter: false when the directed link
+ *        out of @p node through @p port has failed (fault injection)
+ */
+SetupResult establishPath(
+    const Topology &topo,
+    const std::function<MmrRouter &(NodeId)> &router_at,
+    const std::function<PortId(NodeId)> &ni_port_of,
+    const SetupRequest &req, SetupPolicy policy, Rng &rng,
+    const std::function<bool(NodeId, PortId)> &link_ok = {});
+
+/**
+ * BFS hop distances to @p dst over the links @p link_ok accepts
+ * (~0u where unreachable).  With an empty filter this is
+ * Topology::bfsDistances.
+ */
+std::vector<unsigned> survivingDistances(
+    const Topology &topo, NodeId dst,
+    const std::function<bool(NodeId, PortId)> &link_ok);
+
+} // namespace mmr
+
+#endif // MMR_NETWORK_EPB_HH

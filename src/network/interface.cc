@@ -1,0 +1,209 @@
+#include "network/interface.hh"
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+NetworkInterface::NetworkInterface(Network &net_, NodeId host_,
+                                   std::uint64_t seed)
+    : net(net_), host(host_), rng(seed),
+      // Best-effort flow ids carry the host in the upper bits so they
+      // never collide across interfaces.
+      nextBeFlow(0x4000000 + host_ * 0x10000)
+{
+    mmr_assert(host < net.numNodes(), "host node out of range");
+}
+
+bool
+NetworkInterface::openCbrStream(NodeId dst, double rate_bps,
+                                SetupPolicy policy)
+{
+    const auto outcome = net.openCbr(host, dst, rate_bps, policy);
+    if (!outcome.accepted) {
+        ++refused;
+        return false;
+    }
+    Stream s;
+    s.conn = outcome.id;
+    s.dst = dst;
+    s.rateBps = rate_bps;
+    s.source = std::make_unique<CbrSource>(
+        rate_bps, net.routerAt(host).config().linkRateBps, rng);
+    streams.push_back(std::move(s));
+    return true;
+}
+
+bool
+NetworkInterface::openVbrStream(NodeId dst, const VbrProfile &profile,
+                                int priority, SetupPolicy policy)
+{
+    const double peak = profile.meanRateBps * profile.peakToMean;
+    const auto outcome =
+        net.openVbr(host, dst, profile.meanRateBps, peak, priority,
+                    policy);
+    if (!outcome.accepted) {
+        ++refused;
+        return false;
+    }
+    const RouterConfig &rc = net.routerAt(host).config();
+    Stream s;
+    s.conn = outcome.id;
+    s.dst = dst;
+    s.rateBps = profile.meanRateBps;
+    s.isVbr = true;
+    s.profile = profile;
+    s.priority = priority;
+    s.source = std::make_unique<VbrSource>(profile, rc.linkRateBps,
+                                           rc.flitBits, rng);
+    streams.push_back(std::move(s));
+    return true;
+}
+
+bool
+NetworkInterface::openTraceStream(NodeId dst,
+                                  const std::string &trace_path,
+                                  double fps, double peak_to_mean,
+                                  int priority, SetupPolicy policy)
+{
+    mmr_assert(peak_to_mean >= 1.0, "peak/mean ratio below 1");
+    const RouterConfig &rc = net.routerAt(host).config();
+    // Two-step construction: the trace's own mean rate defines both
+    // the permanent bandwidth and (scaled) the declared peak.
+    const auto trace = loadFrameTrace(trace_path);
+    double total_bits = 0.0;
+    for (std::uint64_t bits : trace)
+        total_bits += static_cast<double>(bits);
+    const double mean =
+        total_bits / static_cast<double>(trace.size()) * fps;
+    const double peak = mean * peak_to_mean;
+    if (peak > rc.linkRateBps) {
+        ++refused;
+        return false; // no link can carry the declared peak
+    }
+    auto source = std::make_unique<TraceVbrSource>(
+        trace, fps, peak, rc.linkRateBps, rc.flitBits, rng);
+    const auto outcome =
+        net.openVbr(host, dst, mean, peak, priority, policy);
+    if (!outcome.accepted) {
+        ++refused;
+        return false;
+    }
+    Stream s;
+    s.conn = outcome.id;
+    s.dst = dst;
+    s.rateBps = mean;
+    s.isVbr = true;
+    s.profile.meanRateBps = mean;
+    s.profile.peakToMean = peak_to_mean;
+    s.priority = priority;
+    s.source = std::move(source);
+    streams.push_back(std::move(s));
+    return true;
+}
+
+bool
+NetworkInterface::recoverStream(Stream &s)
+{
+    ++lost;
+    s.backlog.clear(); // flits of the dead path are abandoned
+    if (!autoReestablish)
+        return false;
+    if (s.isVbr) {
+        const double peak = s.profile.meanRateBps * s.profile.peakToMean;
+        const auto o =
+            net.openVbr(host, s.dst, s.profile.meanRateBps, peak,
+                        s.priority);
+        if (!o.accepted)
+            return false;
+        s.conn = o.id;
+    } else {
+        const auto o = net.openCbr(host, s.dst, s.rateBps);
+        if (!o.accepted)
+            return false;
+        s.conn = o.id;
+    }
+    ++reestablished;
+    return true;
+}
+
+void
+NetworkInterface::addBestEffortFlow(NodeId dst, double rate_bps)
+{
+    BeFlow flow;
+    flow.dst = dst;
+    flow.flow = nextBeFlow++;
+    flow.source = std::make_unique<PoissonSource>(
+        rate_bps, net.routerAt(host).config().linkRateBps, rng);
+    beFlows.push_back(std::move(flow));
+}
+
+void
+NetworkInterface::tick(Cycle now)
+{
+    // Streams whose connection died (link failure) are recovered or
+    // retired before any injection work.
+    for (std::size_t i = 0; i < streams.size();) {
+        if (net.connectionState(streams[i].conn) ==
+            Network::ConnState::Open) {
+            ++i;
+            continue;
+        }
+        if (recoverStream(streams[i])) {
+            ++i;
+        } else {
+            streams.erase(streams.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        }
+    }
+
+    for (Stream &s : streams) {
+        // Drain the back-pressure backlog first, preserving order.
+        while (!s.backlog.empty()) {
+            Flit f = s.backlog.front();
+            if (!net.inject(s.conn, f, now))
+                break;
+            s.backlog.pop_front();
+            ++injected;
+        }
+        const unsigned n = s.source->arrivals(now);
+        for (unsigned k = 0; k < n; ++k) {
+            Flit f;
+            f.seq = s.seq++;
+            f.createTime = now;
+            if (!s.backlog.empty() || !net.inject(s.conn, f, now))
+                s.backlog.push_back(f);
+            else
+                ++injected;
+        }
+    }
+    for (BeFlow &flow : beFlows) {
+        const unsigned n = flow.source->arrivals(now);
+        for (unsigned k = 0; k < n; ++k) {
+            net.sendDatagram(host, flow.dst, TrafficClass::BestEffort,
+                             flow.flow, now, flow.seq++);
+            ++injected;
+        }
+    }
+}
+
+std::uint64_t
+NetworkInterface::backloggedFlits() const
+{
+    std::uint64_t n = 0;
+    for (const Stream &s : streams)
+        n += s.backlog.size();
+    return n;
+}
+
+std::vector<ConnId>
+NetworkInterface::connections() const
+{
+    std::vector<ConnId> ids;
+    ids.reserve(streams.size());
+    for (const Stream &s : streams)
+        ids.push_back(s.conn);
+    return ids;
+}
+
+} // namespace mmr

@@ -1,0 +1,785 @@
+#include "network/network.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "traffic/rates.hh"
+
+namespace mmr
+{
+
+Network::Network(Topology topo_, NetworkConfig cfg_)
+    : topo(std::move(topo_)), cfg(cfg_), rand(cfg_.seed),
+      updownRoutes(std::make_unique<UpDownRouting>(topo))
+{
+    routers.reserve(topo.numNodes());
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        RouterConfig rc = cfg.router;
+        rc.numPorts = topo.degree(n) + 1; // +1 host-interface port
+        rc.seed = cfg.seed * 0x9e3779b9ULL + n + 1;
+        routers.push_back(std::make_unique<MmrRouter>(rc));
+        routers.back()->credits().setInfinite(false);
+        wireRouter(n);
+    }
+    linkDown.resize(topo.numNodes());
+    for (NodeId n = 0; n < topo.numNodes(); ++n)
+        linkDown[n].assign(topo.degree(n), false);
+
+    probeMgr = std::make_unique<ProbeSetupManager>(
+        topo, [this](NodeId n) -> MmrRouter & { return *routers[n]; },
+        [this](NodeId n) { return niPort(n); },
+        [this](const TimedSetup &s) { onTimedSetupComplete(s); },
+        cfg.seed ^ 0xabcdef12ULL);
+    probeMgr->setHopLatency(
+        std::max(1u, static_cast<unsigned>(cfg.probeHopCycles)));
+    probeMgr->setLinkAlive([this](NodeId n, PortId port) {
+        return directedLinkUp(n, port);
+    });
+}
+
+bool
+Network::directedLinkUp(NodeId n, PortId port) const
+{
+    mmr_assert(n < linkDown.size(), "node out of range");
+    if (port >= linkDown[n].size())
+        return true; // the NI port never fails
+    return !linkDown[n][port];
+}
+
+void
+Network::rebuildRouting()
+{
+    updownRoutes = std::make_unique<UpDownRouting>(
+        topo, 0, [this](NodeId a, NodeId b) {
+            const PortId port = topo.portTowards(a, b);
+            return port != kInvalidPort && directedLinkUp(a, port);
+        });
+}
+
+bool
+Network::linkIsUp(NodeId a, NodeId b) const
+{
+    const PortId port = topo.portTowards(a, b);
+    if (port == kInvalidPort)
+        return false;
+    return directedLinkUp(a, port);
+}
+
+bool
+Network::failLink(NodeId a, NodeId b)
+{
+    const PortId pa = topo.portTowards(a, b);
+    const PortId pb = topo.portTowards(b, a);
+    if (pa == kInvalidPort || linkDown[a][pa])
+        return false;
+    linkDown[a][pa] = true;
+    linkDown[b][pb] = true;
+
+    // Flits already in flight on the dead link are lost; return their
+    // credits so the upstream VC is not wedged forever.
+    std::deque<LinkFlit> keep;
+    for (LinkFlit &lf : linkQueue) {
+        const bool on_dead_link =
+            (lf.toNode == b && lf.toPort == pb) ||
+            (lf.toNode == a && lf.toPort == pa);
+        if (!on_dead_link) {
+            keep.push_back(std::move(lf));
+            continue;
+        }
+        ++statLostFlits;
+        const NodeId upstream = lf.toNode == b ? a : b;
+        const PortId up_port = lf.toNode == b ? pa : pb;
+        routers[upstream]->credits().replenish(up_port, lf.vc);
+        if (!lf.flit.isStream())
+            routers[upstream]->routing().freeOutputVc(up_port, lf.vc);
+    }
+    linkQueue.swap(keep);
+
+    // Mark and start draining every connection whose path crosses the
+    // link, in either direction.
+    for (auto &[id, conn] : pcs) {
+        if (conn.failed)
+            continue;
+        for (const ReservedHop &hop : conn.hops) {
+            const bool crosses = (hop.node == a && hop.out == pa) ||
+                                 (hop.node == b && hop.out == pb);
+            if (crosses) {
+                conn.failed = true;
+                conn.closing = true;
+                ++statConnsFailed;
+                break;
+            }
+        }
+    }
+
+    rebuildRouting();
+    return true;
+}
+
+bool
+Network::repairLink(NodeId a, NodeId b)
+{
+    const PortId pa = topo.portTowards(a, b);
+    const PortId pb = topo.portTowards(b, a);
+    if (pa == kInvalidPort || !linkDown[a][pa])
+        return false;
+    linkDown[a][pa] = false;
+    linkDown[b][pb] = false;
+    rebuildRouting();
+    return true;
+}
+
+Network::ConnState
+Network::connectionState(ConnId id) const
+{
+    auto it = pcs.find(id);
+    if (it == pcs.end())
+        return ConnState::Gone;
+    return it->second.failed ? ConnState::Failed : ConnState::Open;
+}
+
+Network::~Network() = default;
+
+MmrRouter &
+Network::routerAt(NodeId n)
+{
+    mmr_assert(n < routers.size(), "node out of range");
+    return *routers[n];
+}
+
+void
+Network::wireRouter(NodeId n)
+{
+    routers[n]->setSink(
+        [this, n](PortId out, VcId out_vc, const Flit &f, Cycle now) {
+            handleEgress(n, out, out_vc, f, now);
+        });
+    routers[n]->setCreditReturn(
+        [this, n](PortId in, VcId vc, Cycle now) {
+            handleCreditReturn(n, in, vc, now);
+        });
+    routers[n]->setSegmentRemoved([this, n](const SegmentParams &seg) {
+        // A transient datagram segment owns its *link* input VC from
+        // the upstream router's output pool; the link VC is only free
+        // again once the packet has left this router, so the upstream
+        // allocation is released here rather than when the flit left
+        // the upstream router (that early release would let a new
+        // connection claim a VC whose buffer is still occupied).
+        if (!seg.releaseWhenEmpty || seg.in >= topo.degree(n))
+            return;
+        const NodeId upstream = topo.neighborAt(n, seg.in);
+        const PortId up_port = topo.portTowards(upstream, n);
+        routers[upstream]->routing().freeOutputVc(up_port, seg.inVc);
+    });
+}
+
+void
+Network::handleEgress(NodeId n, PortId out, VcId out_vc, const Flit &f,
+                      Cycle now)
+{
+    if (out == niPort(n)) {
+        deliverToHost(n, f, now);
+        // The host consumes immediately: return the NI credit.
+        if (out_vc != kInvalidVc)
+            routers[n]->credits().replenish(out, out_vc);
+        return;
+    }
+    if (!directedLinkUp(n, out)) {
+        // The link failed after the flit was scheduled: it is lost on
+        // the wire.  Return the credit so the (now pointless) VC does
+        // not stay wedged while its connection drains out, and — for
+        // datagrams — release the link VC the packet was holding,
+        // since no downstream segment will ever do it.
+        ++statLostFlits;
+        if (out_vc != kInvalidVc) {
+            routers[n]->credits().replenish(out, out_vc);
+            if (!f.isStream())
+                routers[n]->routing().freeOutputVc(out, out_vc);
+        }
+        return;
+    }
+    const auto &ports = topo.ports(n);
+    mmr_assert(out < ports.size(), "egress on unknown port");
+    const auto &link = ports[out];
+    linkQueue.push_back(LinkFlit{link.neighbor, link.remotePort, out_vc,
+                                 f, now + cfg.linkLatency});
+}
+
+void
+Network::handleCreditReturn(NodeId n, PortId in, VcId vc, Cycle now)
+{
+    (void)now;
+    if (in >= topo.degree(n))
+        return; // NI-side injection is limited by deposit space
+    const NodeId upstream = topo.neighborAt(n, in);
+    const PortId up_port = topo.portTowards(upstream, n);
+    routers[upstream]->credits().replenish(up_port, vc);
+}
+
+void
+Network::deliverToHost(NodeId n, const Flit &f, Cycle now)
+{
+    (void)n;
+    ++statDelivered;
+    if (f.klass == TrafficClass::BestEffort ||
+        f.klass == TrafficClass::Control)
+        ++statDatagramsDone;
+    e2e.recordDeparture(f.conn, now,
+                        static_cast<double>(now - f.createTime));
+}
+
+// ---------------------------------------------------------------------
+// PCS connections
+// ---------------------------------------------------------------------
+
+ConnId
+Network::installReservedPath(const SetupRequest &req,
+                             const std::vector<ReservedHop> &hops,
+                             double rate_or_mean, int priority)
+{
+    mmr_assert(!hops.empty(), "installing an empty path");
+    const ConnId id = nextPcsId++;
+    const double link = cfg.router.linkRateBps;
+
+    // Source-side input VC on the NI port.
+    const PortId src_ni = niPort(req.src);
+    const VcId src_vc = routers[req.src]->routing().allocInputVc(src_ni);
+    if (src_vc == kInvalidVc) {
+        // Roll the whole reservation back.
+        for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+            routers[it->node]->routing().freeOutputVc(it->out, it->outVc);
+            if (req.klass == TrafficClass::CBR)
+                routers[it->node]->admission().releaseCbr(
+                    it->out, req.allocCycles);
+            else
+                routers[it->node]->admission().releaseVbr(
+                    it->out, req.permCycles, req.peakCycles);
+        }
+        return kInvalidConn;
+    }
+
+    for (std::size_t k = 0; k < hops.size(); ++k) {
+        const ReservedHop &hop = hops[k];
+        SegmentParams p;
+        p.id = id;
+        p.klass = req.klass;
+        p.out = hop.out;
+        p.outVc = hop.outVc;
+        p.allocCycles = req.allocCycles;
+        p.permCycles = req.permCycles;
+        p.peakCycles = req.peakCycles;
+        p.interArrival = interArrivalCycles(rate_or_mean, link);
+        p.priority = priority;
+        p.ownsOutputVc = true;
+        if (k == 0) {
+            p.in = src_ni;
+            p.inVc = src_vc;
+            p.ownsInputVc = true;
+        } else {
+            const NodeId prev = hops[k - 1].node;
+            p.in = topo.portTowards(hop.node, prev);
+            p.inVc = hops[k - 1].outVc;
+            p.ownsInputVc = false;
+        }
+        if (!routers[hop.node]->installSegment(p)) {
+            mmr_panic("segment install failed at node ", hop.node,
+                      " for reserved connection ", id);
+        }
+    }
+
+    PcsConnection conn;
+    conn.id = id;
+    conn.src = req.src;
+    conn.dst = req.dst;
+    conn.klass = req.klass;
+    conn.hops = hops;
+    pcs.emplace(id, std::move(conn));
+    return id;
+}
+
+Network::SetupOutcome
+Network::finishSetup(const SetupRequest &req, const SetupResult &sr,
+                     double rate_or_mean, double peak_bps, int priority)
+{
+    (void)peak_bps;
+    SetupOutcome out;
+    out.forwardSteps = sr.forwardSteps;
+    out.backtrackSteps = sr.backtrackSteps;
+    if (!sr.accepted) {
+        out.setupLatencyCycles =
+            cfg.probeHopCycles *
+            static_cast<double>(sr.forwardSteps + sr.backtrackSteps);
+        return out;
+    }
+
+    const ConnId id =
+        installReservedPath(req, sr.hops, rate_or_mean, priority);
+    if (id == kInvalidConn)
+        return out;
+
+    out.id = id;
+    out.accepted = true;
+    out.pathLength = static_cast<unsigned>(sr.hops.size());
+    out.setupLatencyCycles =
+        cfg.probeHopCycles *
+        static_cast<double>(sr.forwardSteps + sr.backtrackSteps +
+                            sr.hops.size());
+    return out;
+}
+
+std::uint64_t
+Network::openCbrTimed(NodeId src, NodeId dst, double rate_bps, Cycle now,
+                      SetupPolicy policy)
+{
+    mmr_assert(rate_bps > 0.0 && rate_bps <= cfg.router.linkRateBps,
+               "timed setup with an uncarriable rate");
+    SetupRequest req;
+    req.src = src;
+    req.dst = dst;
+    req.klass = TrafficClass::CBR;
+    req.allocCycles = cyclesPerRound(rate_bps, cfg.router.linkRateBps,
+                                     cfg.router.cyclesPerRound());
+    const std::uint64_t token = probeMgr->begin(req, policy, now);
+    timedInfo[token] = TimedRequestInfo{rate_bps, 0};
+    return token;
+}
+
+std::uint64_t
+Network::openVbrTimed(NodeId src, NodeId dst, double mean_bps,
+                      double peak_bps, int priority, Cycle now,
+                      SetupPolicy policy)
+{
+    mmr_assert(mean_bps > 0.0 && peak_bps >= mean_bps &&
+                   peak_bps <= cfg.router.linkRateBps,
+               "timed setup with an uncarriable rate");
+    SetupRequest req;
+    req.src = src;
+    req.dst = dst;
+    req.klass = TrafficClass::VBR;
+    req.permCycles = cyclesPerRound(mean_bps, cfg.router.linkRateBps,
+                                    cfg.router.cyclesPerRound());
+    req.peakCycles = cyclesPerRound(peak_bps, cfg.router.linkRateBps,
+                                    cfg.router.cyclesPerRound());
+    const std::uint64_t token = probeMgr->begin(req, policy, now);
+    timedInfo[token] = TimedRequestInfo{mean_bps, priority};
+    return token;
+}
+
+void
+Network::onTimedSetupComplete(const TimedSetup &s)
+{
+    auto info_it = timedInfo.find(s.token);
+    mmr_assert(info_it != timedInfo.end(),
+               "completion for an unknown setup token");
+    const TimedRequestInfo info = info_it->second;
+    timedInfo.erase(info_it);
+
+    TimedOutcome out;
+    out.token = s.token;
+    out.done = true;
+    out.forwardSteps = s.forwardSteps;
+    out.backtrackSteps = s.backtrackSteps;
+    out.setupCycles = s.finishedAt - s.startedAt;
+    if (s.state == SetupState::Established) {
+        const ConnId id = installReservedPath(s.request, s.hops,
+                                              info.rateOrMean,
+                                              info.priority);
+        if (id != kInvalidConn) {
+            out.accepted = true;
+            out.id = id;
+            out.pathLength = static_cast<unsigned>(s.hops.size());
+        }
+    }
+    timedDone.emplace(s.token, out);
+}
+
+const Network::TimedOutcome *
+Network::timedResult(std::uint64_t token) const
+{
+    auto it = timedDone.find(token);
+    return it == timedDone.end() ? nullptr : &it->second;
+}
+
+std::size_t
+Network::pendingSetups() const
+{
+    return probeMgr->inFlight();
+}
+
+Network::SetupOutcome
+Network::openCbr(NodeId src, NodeId dst, double rate_bps,
+                 SetupPolicy policy)
+{
+    if (rate_bps <= 0.0 || rate_bps > cfg.router.linkRateBps)
+        return SetupOutcome{}; // no link can carry this rate
+    SetupRequest req;
+    req.src = src;
+    req.dst = dst;
+    req.klass = TrafficClass::CBR;
+    req.allocCycles = cyclesPerRound(rate_bps, cfg.router.linkRateBps,
+                                     cfg.router.cyclesPerRound());
+    auto router_at = [this](NodeId n) -> MmrRouter & {
+        return *routers[n];
+    };
+    auto ni_of = [this](NodeId n) { return niPort(n); };
+    const SetupResult sr =
+        establishPath(topo, router_at, ni_of, req, policy, rand,
+                      [this](NodeId n, PortId port) {
+                          return directedLinkUp(n, port);
+                      });
+    return finishSetup(req, sr, rate_bps, 0.0, 0);
+}
+
+Network::SetupOutcome
+Network::openVbr(NodeId src, NodeId dst, double mean_bps,
+                 double peak_bps, int priority, SetupPolicy policy)
+{
+    if (mean_bps <= 0.0 || peak_bps < mean_bps ||
+        peak_bps > cfg.router.linkRateBps)
+        return SetupOutcome{};
+    SetupRequest req;
+    req.src = src;
+    req.dst = dst;
+    req.klass = TrafficClass::VBR;
+    req.permCycles = cyclesPerRound(mean_bps, cfg.router.linkRateBps,
+                                    cfg.router.cyclesPerRound());
+    req.peakCycles = cyclesPerRound(peak_bps, cfg.router.linkRateBps,
+                                    cfg.router.cyclesPerRound());
+    auto router_at = [this](NodeId n) -> MmrRouter & {
+        return *routers[n];
+    };
+    auto ni_of = [this](NodeId n) { return niPort(n); };
+    const SetupResult sr =
+        establishPath(topo, router_at, ni_of, req, policy, rand,
+                      [this](NodeId n, PortId port) {
+                          return directedLinkUp(n, port);
+                      });
+    return finishSetup(req, sr, mean_bps, peak_bps, priority);
+}
+
+bool
+Network::closeConnection(ConnId id)
+{
+    auto it = pcs.find(id);
+    if (it == pcs.end())
+        return false;
+    it->second.closing = true;
+    return true;
+}
+
+void
+Network::processPendingCloses()
+{
+    for (auto it = pcs.begin(); it != pcs.end();) {
+        PcsConnection &conn = it->second;
+        if (!conn.closing) {
+            ++it;
+            continue;
+        }
+        bool drained = true;
+        for (const ReservedHop &hop : conn.hops) {
+            const SegmentParams *seg =
+                routers[hop.node]->connection(conn.id);
+            mmr_assert(seg != nullptr, "missing segment during close");
+            const VcState &vc =
+                routers[hop.node]->inputMemory(seg->in).vc(seg->inVc);
+            if (!vc.empty() || vc.pendingGrants() != 0) {
+                drained = false;
+                break;
+            }
+        }
+        // A flit can be between routers: in flight on a link.
+        if (drained) {
+            for (const LinkFlit &lf : linkQueue) {
+                if (lf.flit.conn == conn.id) {
+                    drained = false;
+                    break;
+                }
+            }
+        }
+        if (!drained) {
+            ++it;
+            continue;
+        }
+        for (const ReservedHop &hop : conn.hops)
+            routers[hop.node]->removeSegment(conn.id);
+        it = pcs.erase(it);
+    }
+}
+
+bool
+Network::inject(ConnId id, Flit f, Cycle now)
+{
+    auto it = pcs.find(id);
+    if (it == pcs.end() || it->second.failed || it->second.closing)
+        return false; // torn down (possibly by a link failure)
+    const PcsConnection &conn = it->second;
+    f.src = conn.src;
+    f.dst = conn.dst;
+    f.readyTime = now;
+    if (!routers[conn.src]->inject(id, f)) {
+        ++statInjectRejects;
+        return false;
+    }
+    return true;
+}
+
+bool
+Network::renegotiateBandwidth(ConnId id, double new_rate_bps)
+{
+    auto it = pcs.find(id);
+    if (it == pcs.end() || it->second.klass != TrafficClass::CBR)
+        return false;
+    const PcsConnection &conn = it->second;
+
+    // Remember the old rate (identical at each hop) for rollback.
+    const SegmentParams *seg0 =
+        routers[conn.hops.front().node]->connection(id);
+    mmr_assert(seg0 != nullptr, "connection without a first segment");
+    const double old_rate =
+        cfg.router.linkRateBps / seg0->interArrival;
+
+    std::size_t done = 0;
+    for (; done < conn.hops.size(); ++done) {
+        if (!routers[conn.hops[done].node]->renegotiateBandwidth(
+                id, new_rate_bps))
+            break;
+    }
+    if (done == conn.hops.size())
+        return true;
+    // Rollback the hops that already accepted the new rate.
+    for (std::size_t k = 0; k < done; ++k) {
+        const bool ok = routers[conn.hops[k].node]->renegotiateBandwidth(
+            id, old_rate);
+        mmr_assert(ok, "rollback to the old rate must always fit");
+    }
+    return false;
+}
+
+bool
+Network::setConnectionPriority(ConnId id, int priority)
+{
+    auto it = pcs.find(id);
+    if (it == pcs.end() || it->second.klass != TrafficClass::VBR)
+        return false;
+    for (const ReservedHop &hop : it->second.hops)
+        routers[hop.node]->setConnectionPriority(id, priority);
+    return true;
+}
+
+std::vector<NodeId>
+Network::connectionPath(ConnId id) const
+{
+    std::vector<NodeId> path;
+    auto it = pcs.find(id);
+    if (it == pcs.end())
+        return path;
+    path.reserve(it->second.hops.size());
+    for (const ReservedHop &hop : it->second.hops)
+        path.push_back(hop.node);
+    return path;
+}
+
+// ---------------------------------------------------------------------
+// Datagram traffic
+// ---------------------------------------------------------------------
+
+void
+Network::sendDatagram(NodeId src, NodeId dst, TrafficClass klass,
+                      ConnId flow, Cycle now, std::uint32_t seq)
+{
+    mmr_assert(src < topo.numNodes() && dst < topo.numNodes(),
+               "datagram endpoints out of range");
+    mmr_assert(klass == TrafficClass::BestEffort ||
+                   klass == TrafficClass::Control,
+               "datagrams are best-effort or control packets");
+    ++statDatagramsSent;
+
+    Flit f;
+    f.conn = flow;
+    f.klass = klass;
+    f.seq = seq;
+    f.src = src;
+    f.dst = dst;
+    f.createTime = now;
+    f.readyTime = now;
+
+    if (src == dst) {
+        deliverToHost(dst, f, now);
+        return;
+    }
+
+    PendingArrival p;
+    p.node = src;
+    p.inPort = kInvalidPort; // NI-side injection
+    p.inVc = kInvalidVc;
+    p.flit = f;
+    if (!placeDatagram(p, now))
+        pendingArrivals.push_back(std::move(p));
+}
+
+bool
+Network::placeDatagram(PendingArrival &p, Cycle now)
+{
+    MmrRouter &router = *routers[p.node];
+    const bool ni_injection = p.inPort == kInvalidPort;
+
+    // Choose the output side first (no state is touched on failure).
+    PortId out = kInvalidPort;
+    bool out_is_down = false;
+    if (p.node == p.flit.dst) {
+        out = niPort(p.node);
+    } else {
+        // Adaptive up*-down*: try legal hops, closest-first.
+        const NodeId pick = updownRoutes->adaptiveNextHop(
+            p.node, p.flit.dst, p.flit.downPhase, rand);
+        if (pick == kInvalidNode) {
+            ++statDatagramDrops;
+            if (!ni_injection) {
+                // The packet was holding a link VC and its credit at
+                // the upstream router; hand both back.
+                const NodeId upstream = topo.neighborAt(p.node, p.inPort);
+                const PortId up_port =
+                    topo.portTowards(upstream, p.node);
+                routers[upstream]->credits().replenish(up_port, p.inVc);
+                routers[upstream]->routing().freeOutputVc(up_port,
+                                                          p.inVc);
+            }
+            mmr_warn("datagram at node ", p.node, " for ", p.flit.dst,
+                     " has no legal route; dropping");
+            return true; // consumed (dropped)
+        }
+        std::vector<NodeId> hops = updownRoutes->legalNextHops(
+            p.node, p.flit.dst, p.flit.downPhase);
+        // Put the adaptive pick first, keep the rest as fallbacks.
+        std::stable_partition(hops.begin(), hops.end(),
+                              [pick](NodeId h) { return h == pick; });
+        for (NodeId h : hops) {
+            const PortId port = topo.portTowards(p.node, h);
+            if (router.routing().freeOutputVcCount(port) > 0) {
+                out = port;
+                out_is_down = !updownRoutes->isUp(p.node, h);
+                break;
+            }
+        }
+        if (out == kInvalidPort)
+            return false; // all next hops exhausted; retry later
+    }
+
+    const VcId out_vc = router.routing().allocOutputVc(out);
+    if (out_vc == kInvalidVc)
+        return false;
+
+    // Claim the input VC.
+    PortId in = p.inPort;
+    VcId in_vc = p.inVc;
+    bool owns_input = false;
+    if (ni_injection) {
+        in = niPort(p.node);
+        in_vc = router.routing().allocInputVc(in);
+        owns_input = true;
+        if (in_vc == kInvalidVc) {
+            router.routing().freeOutputVc(out, out_vc);
+            return false;
+        }
+    } else if (router.inputMemory(in).vc(in_vc).bound()) {
+        // The previous packet on this link VC has not drained yet.
+        router.routing().freeOutputVc(out, out_vc);
+        return false;
+    }
+
+    SegmentParams seg;
+    seg.id = nextTransient++;
+    seg.klass = p.flit.klass;
+    seg.in = in;
+    seg.inVc = in_vc;
+    seg.out = out;
+    seg.outVc = out_vc;
+    seg.releaseWhenEmpty = true;
+    seg.ownsInputVc = owns_input;
+    // A link output VC stays allocated until the downstream router
+    // releases the packet (see the segment-removed hook); only the
+    // NI hop's output VC has no downstream router and is freed with
+    // this segment.
+    seg.ownsOutputVc = (out == niPort(p.node));
+    if (!routers[p.node]->installSegment(seg)) {
+        router.routing().freeOutputVc(out, out_vc);
+        if (owns_input)
+            router.routing().freeInputVc(in, in_vc);
+        return false;
+    }
+
+    Flit f = p.flit;
+    if (p.node != f.dst) {
+        f.downPhase = f.downPhase || out_is_down;
+        ++f.hops;
+    }
+    f.readyTime = now;
+    const bool ok = router.injectRaw(in, in_vc, f);
+    mmr_assert(ok, "deposit into a fresh datagram VC cannot fail");
+    return true;
+}
+
+void
+Network::processArrivals(Cycle now)
+{
+    // Link flits whose latency has elapsed enter the downstream
+    // router: stream flits follow their installed segment; datagrams
+    // claim next-hop resources.
+    std::deque<LinkFlit> later;
+    while (!linkQueue.empty()) {
+        LinkFlit lf = linkQueue.front();
+        linkQueue.pop_front();
+        if (lf.arriveAt > now) {
+            later.push_back(std::move(lf));
+            continue;
+        }
+        Flit f = lf.flit;
+        f.readyTime = now;
+        if (f.isStream()) {
+            if (!routers[lf.toNode]->injectRaw(lf.toPort, lf.vc, f))
+                ++statInjectRejects;
+            continue;
+        }
+        PendingArrival p;
+        p.node = lf.toNode;
+        p.inPort = lf.toPort;
+        p.inVc = lf.vc;
+        p.flit = f;
+        if (!placeDatagram(p, now))
+            pendingArrivals.push_back(std::move(p));
+    }
+    linkQueue.swap(later);
+
+    // Retry datagrams blocked on earlier cycles.
+    const std::size_t n = pendingArrivals.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        PendingArrival p = std::move(pendingArrivals.front());
+        pendingArrivals.pop_front();
+        if (!placeDatagram(p, now))
+            pendingArrivals.push_back(std::move(p));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Clocked
+// ---------------------------------------------------------------------
+
+void
+Network::evaluate(Cycle now)
+{
+    probeMgr->step(now);
+    processArrivals(now);
+    processPendingCloses();
+    for (auto &r : routers)
+        r->evaluate(now);
+}
+
+void
+Network::advance(Cycle now)
+{
+    for (auto &r : routers)
+        r->advance(now);
+}
+
+} // namespace mmr

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Multi-router MMR network.
+ *
+ * Wires one MmrRouter per topology node (degree + 1 ports; the extra
+ * port attaches the host interface), connects output ports to the
+ * neighbors' input ports with a fixed link latency, returns credits
+ * upstream when flits drain, and implements the two transmission
+ * regimes of §3:
+ *
+ *  - PCS connections: established by EPB (or the greedy baseline),
+ *    installing a segment in every router along the path; stream
+ *    flits then follow the direct channel mappings;
+ *  - VCT datagrams (best-effort and control packets): routed hop by
+ *    hop with the adaptive up*-down* algorithm, reserving a virtual
+ *    channel per hop and releasing it when the single-flit packet
+ *    moves on (§3.4).
+ */
+
+#ifndef MMR_NETWORK_NETWORK_HH
+#define MMR_NETWORK_NETWORK_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/recorder.hh"
+#include "network/epb.hh"
+#include "network/probe_protocol.hh"
+#include "network/topology.hh"
+#include "network/updown.hh"
+#include "router/router.hh"
+#include "sim/kernel.hh"
+
+namespace mmr
+{
+
+struct NetworkConfig
+{
+    /** Per-router template; numPorts is overridden per node. */
+    RouterConfig router;
+    unsigned linkLatency = 1;    ///< flit cycles per inter-router hop
+    double probeHopCycles = 2.0; ///< setup-latency model per probe step
+    std::uint64_t seed = 7;
+};
+
+class Network : public Clocked
+{
+  public:
+    Network(Topology topo, NetworkConfig cfg);
+    ~Network();
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    unsigned numNodes() const { return topo.numNodes(); }
+    const Topology &topology() const { return topo; }
+    const UpDownRouting &updown() const { return *updownRoutes; }
+
+    /** Host-interface port index of a node's router. */
+    PortId niPort(NodeId n) const { return topo.degree(n); }
+
+    MmrRouter &routerAt(NodeId n);
+
+    // ------------------------------------------------------------------
+    // Connection-oriented traffic (PCS)
+    // ------------------------------------------------------------------
+    struct SetupOutcome
+    {
+        ConnId id = kInvalidConn;
+        bool accepted = false;
+        unsigned forwardSteps = 0;
+        unsigned backtrackSteps = 0;
+        unsigned pathLength = 0; ///< routers on the final path
+        double setupLatencyCycles = 0.0;
+    };
+
+    SetupOutcome openCbr(NodeId src, NodeId dst, double rate_bps,
+                         SetupPolicy policy = SetupPolicy::Epb);
+    SetupOutcome openVbr(NodeId src, NodeId dst, double mean_bps,
+                         double peak_bps, int priority,
+                         SetupPolicy policy = SetupPolicy::Epb);
+
+    // ---- timed (distributed) establishment ---------------------------
+    /**
+     * Outcome of a timed setup; polled via timedResult() after the
+     * probe/ack protocol finishes.
+     */
+    struct TimedOutcome
+    {
+        std::uint64_t token = 0;
+        bool done = false;
+        bool accepted = false;
+        ConnId id = kInvalidConn;
+        Cycle setupCycles = 0; ///< measured probe + ack latency
+        unsigned forwardSteps = 0;
+        unsigned backtrackSteps = 0;
+        unsigned pathLength = 0;
+    };
+
+    /**
+     * Launch a probe at cycle @p now; the connection (if accepted)
+     * becomes injectable once timedResult(token)->done.  Unlike
+     * openCbr(), setup latency here is *measured*: the probe reserves
+     * resources hop by hop in simulated time and contends with other
+     * in-flight probes.
+     */
+    std::uint64_t openCbrTimed(NodeId src, NodeId dst, double rate_bps,
+                               Cycle now,
+                               SetupPolicy policy = SetupPolicy::Epb);
+    std::uint64_t openVbrTimed(NodeId src, NodeId dst, double mean_bps,
+                               double peak_bps, int priority, Cycle now,
+                               SetupPolicy policy = SetupPolicy::Epb);
+
+    /** nullptr until the token's probe completes. */
+    const TimedOutcome *timedResult(std::uint64_t token) const;
+
+    /** Probes still in flight. */
+    std::size_t pendingSetups() const;
+
+    /**
+     * Begin tearing a connection down; the per-router segments are
+     * removed once their buffers drain.
+     */
+    bool closeConnection(ConnId id);
+
+    /** Inject a stream flit at the source host; false on back-pressure. */
+    bool inject(ConnId id, Flit f, Cycle now);
+
+    /**
+     * Renegotiate a CBR connection's bandwidth along its whole path
+     * (§4.3 control words); rolls back on any per-hop failure.
+     */
+    bool renegotiateBandwidth(ConnId id, double new_rate_bps);
+
+    /** Change a VBR connection's priority along its path. */
+    bool setConnectionPriority(ConnId id, int priority);
+
+    /** Routers on the path of an open connection (empty if unknown). */
+    std::vector<NodeId> connectionPath(ConnId id) const;
+
+    std::size_t openConnectionCount() const { return pcs.size(); }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /**
+     * Fail the bidirectional link between @p a and @p b: flits
+     * crossing it (buffered, in flight, or future) are lost and
+     * counted, connections routed over it are marked failed and torn
+     * down as they drain, datagram routing recomputes up*-down* over
+     * the surviving links, and subsequent setup probes avoid it.
+     * Returns false when the nodes are not adjacent or the link is
+     * already down.
+     */
+    bool failLink(NodeId a, NodeId b);
+
+    /** Repair a previously failed link (routing recomputed). */
+    bool repairLink(NodeId a, NodeId b);
+
+    bool linkIsUp(NodeId a, NodeId b) const;
+
+    /** State of a connection as seen by the host interface. */
+    enum class ConnState
+    {
+        Open,   ///< healthy, injectable
+        Failed, ///< lost a link; draining toward removal
+        Gone    ///< unknown / fully removed
+    };
+    ConnState connectionState(ConnId id) const;
+
+    std::uint64_t flitsLostToFailures() const { return statLostFlits; }
+    std::uint64_t connectionsFailed() const { return statConnsFailed; }
+
+    // ------------------------------------------------------------------
+    // Datagram traffic (VCT)
+    // ------------------------------------------------------------------
+
+    /**
+     * Send a single-flit best-effort or control packet.  @p flow tags
+     * the packet for end-to-end statistics.
+     */
+    void sendDatagram(NodeId src, NodeId dst, TrafficClass klass,
+                      ConnId flow, Cycle now, std::uint32_t seq = 0);
+
+    // ------------------------------------------------------------------
+    // Clocked
+    // ------------------------------------------------------------------
+    void evaluate(Cycle now) override;
+    void advance(Cycle now) override;
+
+    // ------------------------------------------------------------------
+    // Measurement
+    // ------------------------------------------------------------------
+    /** End-to-end recorder (delay = deliver - create, in cycles). */
+    MetricsRecorder &endToEnd() { return e2e; }
+
+    std::uint64_t flitsDelivered() const { return statDelivered; }
+    std::uint64_t datagramsSent() const { return statDatagramsSent; }
+    std::uint64_t datagramsDelivered() const { return statDatagramsDone; }
+    std::uint64_t datagramDrops() const { return statDatagramDrops; }
+    std::uint64_t pendingDatagrams() const
+    {
+        return pendingArrivals.size();
+    }
+    std::uint64_t injectRejects() const { return statInjectRejects; }
+
+  private:
+    struct PcsConnection
+    {
+        ConnId id;
+        NodeId src;
+        NodeId dst;
+        TrafficClass klass;
+        std::vector<ReservedHop> hops;
+        bool closing = false;
+        bool failed = false;
+    };
+
+    /** A flit in flight on an inter-router link. */
+    struct LinkFlit
+    {
+        NodeId toNode;
+        PortId toPort;
+        VcId vc;
+        Flit flit;
+        Cycle arriveAt;
+    };
+
+    /** A datagram that could not claim its next-hop resources yet. */
+    struct PendingArrival
+    {
+        NodeId node;
+        PortId inPort; ///< kInvalidPort: inject fresh at the NI
+        VcId inVc;     ///< kInvalidVc until allocated (NI side)
+        Flit flit;
+    };
+
+    void wireRouter(NodeId n);
+    void handleEgress(NodeId n, PortId out, VcId out_vc, const Flit &f,
+                      Cycle now);
+    void handleCreditReturn(NodeId n, PortId in, VcId vc, Cycle now);
+    void deliverToHost(NodeId n, const Flit &f, Cycle now);
+
+    /**
+     * Try to give a datagram its next hop at @p node: pick an output
+     * by adaptive up*-down* routing (or the NI port when the packet is
+     * home), allocate the VC, install a transient segment and deposit
+     * the flit.  Returns false when resources are unavailable.
+     */
+    bool placeDatagram(PendingArrival &p, Cycle now);
+
+    void processArrivals(Cycle now);
+    void processPendingCloses();
+
+    SetupOutcome finishSetup(const SetupRequest &req,
+                             const SetupResult &sr, double rate_or_mean,
+                             double peak_bps, int priority);
+
+    /**
+     * Install the per-router segments of a fully reserved path;
+     * returns the connection id or kInvalidConn (rolled back).
+     */
+    ConnId installReservedPath(const SetupRequest &req,
+                               const std::vector<ReservedHop> &hops,
+                               double rate_or_mean, int priority);
+
+    void onTimedSetupComplete(const TimedSetup &s);
+
+    Topology topo;
+    NetworkConfig cfg;
+    Rng rand;
+    std::unique_ptr<UpDownRouting> updownRoutes;
+    std::vector<std::unique_ptr<MmrRouter>> routers;
+    std::unique_ptr<ProbeSetupManager> probeMgr;
+
+    struct TimedRequestInfo
+    {
+        double rateOrMean = 0.0;
+        int priority = 0;
+    };
+    std::unordered_map<std::uint64_t, TimedRequestInfo> timedInfo;
+    std::unordered_map<std::uint64_t, TimedOutcome> timedDone;
+
+    std::unordered_map<ConnId, PcsConnection> pcs;
+    ConnId nextPcsId = 0x100000;   ///< global PCS connection ids
+    ConnId nextTransient = 0x8000000; ///< per-packet segment ids
+
+    std::deque<LinkFlit> linkQueue;
+    std::deque<PendingArrival> pendingArrivals;
+
+    void rebuildRouting();
+    bool directedLinkUp(NodeId n, PortId port) const;
+
+    /** linkDown[n][port] true when the link out of port has failed. */
+    std::vector<std::vector<bool>> linkDown;
+
+    MetricsRecorder e2e;
+    std::uint64_t statLostFlits = 0;
+    std::uint64_t statConnsFailed = 0;
+    std::uint64_t statDelivered = 0;
+    std::uint64_t statDatagramsSent = 0;
+    std::uint64_t statDatagramsDone = 0;
+    std::uint64_t statDatagramDrops = 0;
+    std::uint64_t statInjectRejects = 0;
+};
+
+} // namespace mmr
+
+#endif // MMR_NETWORK_NETWORK_HH

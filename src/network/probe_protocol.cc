@@ -1,0 +1,215 @@
+#include "network/probe_protocol.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+std::string
+to_string(SetupState s)
+{
+    switch (s) {
+      case SetupState::Probing:
+        return "probing";
+      case SetupState::Returning:
+        return "returning";
+      case SetupState::Established:
+        return "established";
+      case SetupState::Refused:
+        return "refused";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+reserveHop(MmrRouter &router, PortId out, const SetupRequest &req,
+           VcId &out_vc)
+{
+    AdmissionController &admit = router.admission();
+    bool admitted = false;
+    if (req.klass == TrafficClass::CBR)
+        admitted = admit.tryAdmitCbr(out, req.allocCycles);
+    else if (req.klass == TrafficClass::VBR)
+        admitted = admit.tryAdmitVbr(out, req.permCycles, req.peakCycles);
+    else
+        mmr_panic("probes establish CBR/VBR connections only");
+    if (!admitted)
+        return false;
+    out_vc = router.routing().allocOutputVc(out);
+    if (out_vc == kInvalidVc) {
+        if (req.klass == TrafficClass::CBR)
+            admit.releaseCbr(out, req.allocCycles);
+        else
+            admit.releaseVbr(out, req.permCycles, req.peakCycles);
+        return false;
+    }
+    return true;
+}
+
+void
+releaseHop(MmrRouter &router, const ReservedHop &hop,
+           const SetupRequest &req)
+{
+    router.routing().freeOutputVc(hop.out, hop.outVc);
+    if (req.klass == TrafficClass::CBR)
+        router.admission().releaseCbr(hop.out, req.allocCycles);
+    else
+        router.admission().releaseVbr(hop.out, req.permCycles,
+                                      req.peakCycles);
+}
+
+} // namespace
+
+ProbeSetupManager::ProbeSetupManager(const Topology &topo_,
+                                     RouterAccess router_at,
+                                     NiPortOf ni_port_of,
+                                     CompletionFn on_complete,
+                                     std::uint64_t seed)
+    : topo(topo_), routerAt(std::move(router_at)),
+      niPortOf(std::move(ni_port_of)), onComplete(std::move(on_complete)),
+      rng(seed)
+{
+    mmr_assert(routerAt && niPortOf && onComplete,
+               "probe manager needs router access and a callback");
+}
+
+BitVector &
+ProbeSetupManager::searchedAt(Probe &p, NodeId n)
+{
+    BitVector &v = p.searched[n];
+    if (v.size() == 0)
+        v.resize(topo.degree(n) + 1);
+    return v;
+}
+
+bool
+ProbeSetupManager::linkUsable(NodeId n, PortId port) const
+{
+    return !linkAlive || linkAlive(n, port);
+}
+
+std::uint64_t
+ProbeSetupManager::begin(const SetupRequest &req, SetupPolicy policy,
+                         Cycle now)
+{
+    mmr_assert(req.src < topo.numNodes() && req.dst < topo.numNodes() &&
+                   req.src != req.dst,
+               "bad setup endpoints");
+    Probe p;
+    p.setup.token = nextToken++;
+    p.setup.request = req;
+    p.setup.policy = policy;
+    p.setup.startedAt = now;
+    p.at = req.src;
+    p.nextAction = now; // first hop attempt happens this cycle
+    p.distToDst = survivingDistances(topo, req.dst, linkAlive);
+    probes.push_back(std::move(p));
+    return probes.back().setup.token;
+}
+
+bool
+ProbeSetupManager::advanceProbe(Probe &p, Cycle now)
+{
+    TimedSetup &s = p.setup;
+    const SetupRequest &req = s.request;
+
+    if (s.state == SetupState::Returning) {
+        // The acknowledgment retraces the path toward the source via
+        // the reverse channel mappings, one hop per action.
+        if (p.ackIndex == 0) {
+            s.state = SetupState::Established;
+            s.finishedAt = now;
+            onComplete(s);
+            return true;
+        }
+        --p.ackIndex;
+        p.nextAction = now + hopLatency;
+        return false;
+    }
+
+    // --- Probing ---------------------------------------------------
+    if (p.at == req.dst) {
+        const PortId ni = niPortOf(p.at);
+        if (!searchedAt(p, p.at).test(ni)) {
+            searchedAt(p, p.at).set(ni);
+            VcId vc = kInvalidVc;
+            if (reserveHop(routerAt(p.at), ni, req, vc)) {
+                s.hops.push_back(ReservedHop{p.at, ni, vc});
+                // Ack walks back over every reserved hop.
+                s.state = SetupState::Returning;
+                p.ackIndex = s.hops.size();
+                p.nextAction = now + hopLatency;
+                return false;
+            }
+        }
+        // Destination host link saturated: dead end, fall through to
+        // the backtrack logic below.
+    } else {
+        // Profitable, unsearched, healthy links in random order.
+        std::vector<PortId> cands;
+        for (const auto &port : topo.ports(p.at)) {
+            if (p.distToDst[port.neighbor] + 1 != p.distToDst[p.at])
+                continue;
+            if (searchedAt(p, p.at).test(port.localPort))
+                continue;
+            if (!linkUsable(p.at, port.localPort))
+                continue;
+            cands.push_back(port.localPort);
+        }
+        rng.shuffle(cands);
+        for (PortId out : cands) {
+            searchedAt(p, p.at).set(out);
+            VcId vc = kInvalidVc;
+            if (!reserveHop(routerAt(p.at), out, req, vc))
+                continue;
+            s.hops.push_back(ReservedHop{p.at, out, vc});
+            p.at = topo.neighborAt(p.at, out);
+            ++s.forwardSteps;
+            p.nextAction = now + hopLatency;
+            return false;
+        }
+    }
+
+    // Dead end: give up (greedy / exhausted source) or backtrack.
+    if (s.policy == SetupPolicy::Greedy || s.hops.empty()) {
+        for (auto it = s.hops.rbegin(); it != s.hops.rend(); ++it)
+            releaseHop(routerAt(it->node), *it, req);
+        s.hops.clear();
+        s.state = SetupState::Refused;
+        s.finishedAt = now;
+        onComplete(s);
+        return true;
+    }
+    const ReservedHop hop = s.hops.back();
+    s.hops.pop_back();
+    releaseHop(routerAt(hop.node), hop, req);
+    p.at = hop.node;
+    ++s.backtrackSteps;
+    p.nextAction = now + hopLatency;
+    return false;
+}
+
+void
+ProbeSetupManager::step(Cycle now)
+{
+    for (std::size_t i = 0; i < probes.size();) {
+        Probe &p = probes[i];
+        if (p.nextAction > now) {
+            ++i;
+            continue;
+        }
+        if (advanceProbe(p, now)) {
+            probes.erase(probes.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+}
+
+} // namespace mmr

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Timed PCS connection establishment (§3.4, §3.5).
+ *
+ * The algorithmic establishPath() reserves a whole path in zero
+ * simulated time; this module implements the *distributed* protocol
+ * the paper describes: a routing probe travels hop by hop, reserving
+ * link bandwidth and an output virtual channel at every router it
+ * passes, backtracking (and releasing) when it hits a dead end, and —
+ * once the destination accepts — an acknowledgment returns along the
+ * reverse channel mappings before the source may transmit.  Probes,
+ * backtracking probes and acknowledgments are short control messages
+ * handled during switch reconfiguration cycles (§3.4), so each hop
+ * costs a small fixed number of flit cycles rather than a full
+ * scheduling round trip.
+ *
+ * Because resources are reserved and released *as the probe moves*,
+ * concurrent setups contend realistically: two probes racing for the
+ * last virtual channel of a link interleave in simulated time and
+ * exactly one wins.
+ */
+
+#ifndef MMR_NETWORK_PROBE_PROTOCOL_HH
+#define MMR_NETWORK_PROBE_PROTOCOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/bitvector.hh"
+#include "base/rng.hh"
+#include "network/epb.hh"
+#include "network/topology.hh"
+
+namespace mmr
+{
+
+/** Lifecycle of one timed setup attempt. */
+enum class SetupState
+{
+    Probing,     ///< probe searching forward / backtracking
+    Returning,   ///< path found; ack travelling back to the source
+    Established, ///< ack arrived; data may flow
+    Refused      ///< probe backtracked out of the source node
+};
+
+std::string to_string(SetupState s);
+
+/** Handle + result of a timed setup. */
+struct TimedSetup
+{
+    std::uint64_t token = 0;
+    SetupState state = SetupState::Probing;
+    SetupRequest request;
+    SetupPolicy policy = SetupPolicy::Epb;
+    std::vector<ReservedHop> hops; ///< reserved so far / final path
+    unsigned forwardSteps = 0;
+    unsigned backtrackSteps = 0;
+    Cycle startedAt = 0;
+    Cycle finishedAt = 0; ///< valid once Established/Refused
+};
+
+/**
+ * Drives all in-flight probes.  The owner (Network) calls step() once
+ * per flit cycle and provides router access; on completion the
+ * manager invokes the owner's callback so it can install the segments
+ * (Established) or record the refusal.
+ */
+class ProbeSetupManager
+{
+  public:
+    using RouterAccess = std::function<MmrRouter &(NodeId)>;
+    using NiPortOf = std::function<PortId(NodeId)>;
+    /** Invoked exactly once per setup when it leaves the in-flight
+     * set (state Established or Refused). */
+    using CompletionFn = std::function<void(const TimedSetup &)>;
+    /** Whether the directed link from @p node through @p port is
+     * usable (false once failed). */
+    using LinkAlive = std::function<bool(NodeId, PortId)>;
+
+    ProbeSetupManager(const Topology &topo, RouterAccess router_at,
+                      NiPortOf ni_port_of, CompletionFn on_complete,
+                      std::uint64_t seed);
+
+    /** Per-hop latency of probe/backtrack/ack messages (flit cycles). */
+    void setHopLatency(unsigned cycles) { hopLatency = cycles; }
+
+    /** Optional link-health filter (fault injection). */
+    void setLinkAlive(LinkAlive fn) { linkAlive = std::move(fn); }
+
+    /**
+     * Launch a probe.  Returns a token to correlate with the
+     * completion callback.
+     */
+    std::uint64_t begin(const SetupRequest &req, SetupPolicy policy,
+                        Cycle now);
+
+    /** Advance every in-flight probe that is due at @p now. */
+    void step(Cycle now);
+
+    std::size_t inFlight() const { return probes.size(); }
+
+  private:
+    struct Probe
+    {
+        TimedSetup setup;
+        NodeId at = kInvalidNode;
+        Cycle nextAction = 0;
+        /** Output links already searched, per visited node (the
+         * per-input-VC history store of §3.5, carried with the probe
+         * in this synchronous-model implementation). */
+        std::unordered_map<NodeId, BitVector> searched;
+        std::vector<unsigned> distToDst;
+        /** Ack position while Returning (index into hops). */
+        std::size_t ackIndex = 0;
+    };
+
+    BitVector &searchedAt(Probe &p, NodeId n);
+    bool linkUsable(NodeId n, PortId port) const;
+
+    /** One protocol action for one probe; returns true when the probe
+     * is finished and must be removed. */
+    bool advanceProbe(Probe &p, Cycle now);
+
+    const Topology &topo;
+    RouterAccess routerAt;
+    NiPortOf niPortOf;
+    CompletionFn onComplete;
+    LinkAlive linkAlive; ///< empty = all links healthy
+    Rng rng;
+    unsigned hopLatency = 2;
+    std::uint64_t nextToken = 1;
+    std::vector<Probe> probes;
+};
+
+} // namespace mmr
+
+#endif // MMR_NETWORK_PROBE_PROTOCOL_HH

@@ -1,0 +1,222 @@
+#include "network/topology.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+Topology::Topology(unsigned num_nodes) : adj(num_nodes)
+{
+    mmr_assert(num_nodes > 0, "topology needs at least one node");
+}
+
+void
+Topology::addLink(NodeId a, NodeId b)
+{
+    mmr_assert(a < adj.size() && b < adj.size(), "link endpoint (", a,
+               ",", b, ") out of range");
+    if (a == b)
+        mmr_fatal("self-loop at node ", a);
+    if (hasLink(a, b))
+        mmr_fatal("duplicate link between ", a, " and ", b);
+
+    const auto pa = static_cast<PortId>(adj[a].size());
+    const auto pb = static_cast<PortId>(adj[b].size());
+    adj[a].push_back(PortInfo{b, pa, pb});
+    adj[b].push_back(PortInfo{a, pb, pa});
+    ++links;
+}
+
+unsigned
+Topology::degree(NodeId n) const
+{
+    mmr_assert(n < adj.size(), "node out of range");
+    return static_cast<unsigned>(adj[n].size());
+}
+
+unsigned
+Topology::maxDegree() const
+{
+    unsigned d = 0;
+    for (const auto &ports_ : adj)
+        d = std::max(d, static_cast<unsigned>(ports_.size()));
+    return d;
+}
+
+const std::vector<Topology::PortInfo> &
+Topology::ports(NodeId n) const
+{
+    mmr_assert(n < adj.size(), "node out of range");
+    return adj[n];
+}
+
+PortId
+Topology::portTowards(NodeId from, NodeId to) const
+{
+    for (const PortInfo &p : ports(from))
+        if (p.neighbor == to)
+            return p.localPort;
+    return kInvalidPort;
+}
+
+NodeId
+Topology::neighborAt(NodeId n, PortId port) const
+{
+    const auto &ps = ports(n);
+    mmr_assert(port < ps.size(), "port ", port, " out of range at node ",
+               n);
+    return ps[port].neighbor;
+}
+
+bool
+Topology::hasLink(NodeId a, NodeId b) const
+{
+    return portTowards(a, b) != kInvalidPort;
+}
+
+std::vector<unsigned>
+Topology::bfsDistances(NodeId from) const
+{
+    constexpr unsigned kInf = std::numeric_limits<unsigned>::max();
+    std::vector<unsigned> dist(adj.size(), kInf);
+    std::queue<NodeId> frontier;
+    dist[from] = 0;
+    frontier.push(from);
+    while (!frontier.empty()) {
+        const NodeId n = frontier.front();
+        frontier.pop();
+        for (const PortInfo &p : adj[n]) {
+            if (dist[p.neighbor] == kInf) {
+                dist[p.neighbor] = dist[n] + 1;
+                frontier.push(p.neighbor);
+            }
+        }
+    }
+    return dist;
+}
+
+unsigned
+Topology::distance(NodeId a, NodeId b) const
+{
+    return bfsDistances(a)[b];
+}
+
+bool
+Topology::connected() const
+{
+    const auto dist = bfsDistances(0);
+    return std::none_of(dist.begin(), dist.end(), [](unsigned d) {
+        return d == std::numeric_limits<unsigned>::max();
+    });
+}
+
+Topology
+Topology::mesh2d(unsigned width, unsigned height)
+{
+    mmr_assert(width > 0 && height > 0, "degenerate mesh");
+    Topology t(width * height);
+    auto id = [width](unsigned x, unsigned y) { return y * width + x; };
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            if (x + 1 < width)
+                t.addLink(id(x, y), id(x + 1, y));
+            if (y + 1 < height)
+                t.addLink(id(x, y), id(x, y + 1));
+        }
+    }
+    return t;
+}
+
+Topology
+Topology::torus2d(unsigned width, unsigned height)
+{
+    mmr_assert(width > 2 && height > 2,
+               "torus needs width/height > 2 to avoid duplicate links");
+    Topology t(width * height);
+    auto id = [width](unsigned x, unsigned y) { return y * width + x; };
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            t.addLink(id(x, y), id((x + 1) % width, y));
+            t.addLink(id(x, y), id(x, (y + 1) % height));
+        }
+    }
+    return t;
+}
+
+Topology
+Topology::ring(unsigned n)
+{
+    mmr_assert(n >= 3, "ring needs at least 3 nodes");
+    Topology t(n);
+    for (unsigned i = 0; i < n; ++i)
+        t.addLink(i, (i + 1) % n);
+    return t;
+}
+
+Topology
+Topology::star(unsigned leaves)
+{
+    mmr_assert(leaves >= 1, "star needs at least one leaf");
+    Topology t(leaves + 1);
+    for (unsigned i = 1; i <= leaves; ++i)
+        t.addLink(0, i);
+    return t;
+}
+
+Topology
+Topology::irregular(unsigned n, unsigned extra_links, unsigned max_degree,
+                    Rng &rng)
+{
+    mmr_assert(n >= 2, "irregular topology needs at least 2 nodes");
+    mmr_assert(max_degree >= 2, "degree bound must be at least 2");
+    Topology t(n);
+
+    // Random spanning tree: attach each node to a random earlier one
+    // with spare degree.
+    std::vector<NodeId> order(n);
+    for (unsigned i = 0; i < n; ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    for (unsigned i = 1; i < n; ++i) {
+        // Pick an already-attached node with room.
+        for (unsigned attempt = 0;; ++attempt) {
+            const NodeId cand = order[rng.below(i)];
+            if (t.degree(cand) < max_degree) {
+                t.addLink(order[i], cand);
+                break;
+            }
+            if (attempt > 8 * n) {
+                // Degree bound too tight for a tree; fall back to the
+                // lowest-degree attached node.
+                NodeId best = order[0];
+                for (unsigned j = 0; j < i; ++j)
+                    if (t.degree(order[j]) < t.degree(best))
+                        best = order[j];
+                t.addLink(order[i], best);
+                break;
+            }
+        }
+    }
+
+    // Extra cross links subject to the degree bound.
+    unsigned added = 0;
+    unsigned attempts = 0;
+    while (added < extra_links && attempts < 64 * (extra_links + 1)) {
+        ++attempts;
+        const NodeId a = static_cast<NodeId>(rng.below(n));
+        const NodeId b = static_cast<NodeId>(rng.below(n));
+        if (a == b || t.hasLink(a, b) || t.degree(a) >= max_degree ||
+            t.degree(b) >= max_degree)
+            continue;
+        t.addLink(a, b);
+        ++added;
+    }
+    return t;
+}
+
+} // namespace mmr

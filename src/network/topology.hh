@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Network topologies (§1, §3.5).
+ *
+ * The MMR targets clusters and LANs, where topologies are frequently
+ * irregular (switch-based networks of workstations); the routing
+ * algorithms cited ([26], [27]) are designed for irregular topologies
+ * but regular ones (meshes, tori, rings) are supported as well for the
+ * comparative benches.  A topology is an undirected multigraph-free
+ * graph of routers; each edge becomes a pair of unidirectional links
+ * occupying one port on each endpoint.  Port indices at a node are
+ * assigned in edge-insertion order; the network layer reserves one
+ * extra port per node for the host interface.
+ */
+
+#ifndef MMR_NETWORK_TOPOLOGY_HH
+#define MMR_NETWORK_TOPOLOGY_HH
+
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+
+namespace mmr
+{
+
+class Topology
+{
+  public:
+    /** One endpoint view of a link. */
+    struct PortInfo
+    {
+        NodeId neighbor = kInvalidNode;
+        PortId localPort = kInvalidPort;  ///< port index at this node
+        PortId remotePort = kInvalidPort; ///< port index at neighbor
+    };
+
+    explicit Topology(unsigned num_nodes);
+
+    unsigned numNodes() const
+    {
+        return static_cast<unsigned>(adj.size());
+    }
+
+    /** Add a bidirectional link; fatal on self-loops or duplicates. */
+    void addLink(NodeId a, NodeId b);
+
+    unsigned degree(NodeId n) const;
+
+    /** Largest degree over all nodes. */
+    unsigned maxDegree() const;
+
+    const std::vector<PortInfo> &ports(NodeId n) const;
+
+    /** Port at @p from leading to @p to; kInvalidPort if not adjacent. */
+    PortId portTowards(NodeId from, NodeId to) const;
+
+    /** Neighbor reached through a port. */
+    NodeId neighborAt(NodeId n, PortId port) const;
+
+    bool hasLink(NodeId a, NodeId b) const;
+
+    /** BFS hop distances from @p from (UINT_MAX when unreachable). */
+    std::vector<unsigned> bfsDistances(NodeId from) const;
+
+    unsigned distance(NodeId a, NodeId b) const;
+
+    bool connected() const;
+
+    unsigned numLinks() const { return links; }
+
+    // --- builders --------------------------------------------------
+    static Topology mesh2d(unsigned width, unsigned height);
+    static Topology torus2d(unsigned width, unsigned height);
+    static Topology ring(unsigned n);
+    static Topology star(unsigned leaves);
+
+    /**
+     * Random connected irregular topology with bounded degree —
+     * the cluster/LAN setting of the paper.
+     *
+     * @param n node count
+     * @param extra_links links added beyond the random spanning tree
+     * @param max_degree per-node degree bound
+     */
+    static Topology irregular(unsigned n, unsigned extra_links,
+                              unsigned max_degree, Rng &rng);
+
+  private:
+    std::vector<std::vector<PortInfo>> adj;
+    unsigned links = 0;
+};
+
+} // namespace mmr
+
+#endif // MMR_NETWORK_TOPOLOGY_HH

@@ -1,0 +1,190 @@
+#include "network/updown.hh"
+
+#include <limits>
+#include <queue>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+namespace
+{
+constexpr unsigned kInf = std::numeric_limits<unsigned>::max();
+} // namespace
+
+UpDownRouting::UpDownRouting(const Topology &topo_, NodeId root,
+                             LinkFilter filter_)
+    : topo(topo_), filter(std::move(filter_)),
+      distCache(topo_.numNodes())
+{
+    mmr_assert(root < topo.numNodes(), "root out of range");
+    levels = filteredBfs(root);
+    if (!filter) {
+        mmr_assert(topo.connected(),
+                   "up*-down* needs a connected topology");
+    }
+    // With a filter, unreachable nodes keep level kInf; isUp() still
+    // orders every surviving link because both endpoints of a
+    // surviving link are reachable from the root or both unreachable
+    // (tie-broken by node id).
+}
+
+std::vector<unsigned>
+UpDownRouting::filteredBfs(NodeId root) const
+{
+    std::vector<unsigned> dist(topo.numNodes(), kInf);
+    std::queue<NodeId> frontier;
+    dist[root] = 0;
+    frontier.push(root);
+    while (!frontier.empty()) {
+        const NodeId n = frontier.front();
+        frontier.pop();
+        for (const auto &p : topo.ports(n)) {
+            if (!linkOk(n, p.neighbor))
+                continue;
+            if (dist[p.neighbor] == kInf) {
+                dist[p.neighbor] = dist[n] + 1;
+                frontier.push(p.neighbor);
+            }
+        }
+    }
+    return dist;
+}
+
+unsigned
+UpDownRouting::level(NodeId n) const
+{
+    mmr_assert(n < levels.size(), "node out of range");
+    return levels[n];
+}
+
+bool
+UpDownRouting::isUp(NodeId from, NodeId to) const
+{
+    // "Up" points toward the root: strictly lower BFS level, with the
+    // node id breaking ties so every link has a unique direction.
+    if (level(to) != level(from))
+        return level(to) < level(from);
+    return to < from;
+}
+
+std::vector<unsigned>
+UpDownRouting::phaseDistances(NodeId dst) const
+{
+    // State (node, phase): phase 1 once a down link has been used.
+    // Legal transitions: (n,0) -up-> (m,0); (n,0) -down-> (m,1);
+    // (n,1) -down-> (m,1).  BFS backward from (dst,0) and (dst,1).
+    const unsigned n = topo.numNodes();
+    std::vector<unsigned> dist(2 * n, kInf);
+    std::queue<unsigned> frontier;
+    dist[dst * 2 + 0] = 0;
+    dist[dst * 2 + 1] = 0;
+    frontier.push(dst * 2 + 0);
+    frontier.push(dst * 2 + 1);
+
+    while (!frontier.empty()) {
+        const unsigned state = frontier.front();
+        frontier.pop();
+        const NodeId m = state / 2;
+        const unsigned phase = state % 2;
+        const unsigned d = dist[state];
+        for (const auto &p : topo.ports(m)) {
+            const NodeId pred = p.neighbor;
+            if (!linkOk(pred, m))
+                continue;
+            if (phase == 0) {
+                // Predecessor used an up link pred -> m in phase 0.
+                if (isUp(pred, m)) {
+                    const unsigned s = pred * 2 + 0;
+                    if (dist[s] == kInf) {
+                        dist[s] = d + 1;
+                        frontier.push(s);
+                    }
+                }
+            } else {
+                // Predecessor used a down link pred -> m, landing in
+                // phase 1 from either phase.
+                if (!isUp(pred, m)) {
+                    for (unsigned pp = 0; pp < 2; ++pp) {
+                        const unsigned s = pred * 2 + pp;
+                        if (dist[s] == kInf) {
+                            dist[s] = d + 1;
+                            frontier.push(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<NodeId>
+UpDownRouting::legalNextHops(NodeId at, NodeId dst, bool down_phase) const
+{
+    if (distCache[dst].empty())
+        distCache[dst] = phaseDistances(dst);
+    const auto &dist = distCache[dst];
+
+    std::vector<NodeId> hops;
+    for (const auto &p : topo.ports(at)) {
+        const NodeId m = p.neighbor;
+        if (!linkOk(at, m))
+            continue;
+        const bool up = isUp(at, m);
+        if (down_phase && up)
+            continue; // up after down is illegal
+        const unsigned next_phase = up ? (down_phase ? 1 : 0) : 1;
+        if (dist[m * 2 + next_phase] != kInf || m == dst)
+            hops.push_back(m);
+    }
+    return hops;
+}
+
+NodeId
+UpDownRouting::adaptiveNextHop(NodeId at, NodeId dst, bool down_phase,
+                               Rng &rng) const
+{
+    if (at == dst)
+        return dst;
+    if (distCache[dst].empty())
+        distCache[dst] = phaseDistances(dst);
+    const auto &dist = distCache[dst];
+
+    unsigned best = kInf;
+    std::vector<NodeId> ties;
+    for (const auto &p : topo.ports(at)) {
+        const NodeId m = p.neighbor;
+        if (!linkOk(at, m))
+            continue;
+        const bool up = isUp(at, m);
+        if (down_phase && up)
+            continue;
+        const unsigned next_phase = up ? (down_phase ? 1u : 0u) : 1u;
+        const unsigned d = dist[m * 2 + next_phase];
+        if (d == kInf)
+            continue;
+        if (d < best) {
+            best = d;
+            ties.clear();
+        }
+        if (d == best)
+            ties.push_back(m);
+    }
+    if (ties.empty())
+        return kInvalidNode;
+    return ties[rng.below(ties.size())];
+}
+
+bool
+UpDownRouting::reachable(NodeId at, NodeId dst, bool down_phase) const
+{
+    if (at == dst)
+        return true;
+    if (distCache[dst].empty())
+        distCache[dst] = phaseDistances(dst);
+    return distCache[dst][at * 2 + (down_phase ? 1 : 0)] != kInf;
+}
+
+} // namespace mmr

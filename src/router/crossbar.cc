@@ -1,0 +1,89 @@
+#include "router/crossbar.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+std::uint64_t
+CrossbarModel::crosspoints() const
+{
+    const std::uint64_t p = numPorts;
+    const std::uint64_t v = vcsPerPort;
+    switch (org) {
+      case CrossbarOrg::Multiplexed:
+        return p * p;
+      case CrossbarOrg::PartiallyDemuxed:
+        return p * v * p;
+      case CrossbarOrg::FullyDemuxed:
+        return p * v * p * v;
+    }
+    mmr_panic("unhandled crossbar organization");
+}
+
+double
+CrossbarModel::areaUnits() const
+{
+    return static_cast<double>(crosspoints()) *
+           static_cast<double>(datapathBits);
+}
+
+double
+CrossbarModel::areaRatioVsMultiplexed() const
+{
+    CrossbarModel base = *this;
+    base.org = CrossbarOrg::Multiplexed;
+    return areaUnits() / base.areaUnits();
+}
+
+unsigned
+CrossbarModel::arbiterFanIn() const
+{
+    switch (org) {
+      case CrossbarOrg::Multiplexed:
+        return numPorts;
+      case CrossbarOrg::PartiallyDemuxed:
+      case CrossbarOrg::FullyDemuxed:
+        return numPorts * vcsPerPort;
+    }
+    mmr_panic("unhandled crossbar organization");
+}
+
+unsigned
+CrossbarModel::arbitrationDelayUnits() const
+{
+    const unsigned fanin = arbiterFanIn();
+    if (fanin <= 1)
+        return 1;
+    return static_cast<unsigned>(
+        std::ceil(std::log2(static_cast<double>(fanin))));
+}
+
+bool
+CrossbarModel::meetsCycleTime(double gate_delay_ns,
+                              double flit_cycle_ns) const
+{
+    return static_cast<double>(arbitrationDelayUnits()) * gate_delay_ns <=
+           flit_cycle_ns;
+}
+
+void
+ReconfigCounter::note(bool same)
+{
+    ++total;
+    if (!same)
+        ++changes;
+}
+
+double
+ReconfigCounter::reconfigRate()
+ const
+{
+    return total ? static_cast<double>(changes) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace mmr

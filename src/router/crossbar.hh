@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Crossbar organizations and their silicon cost (§3.3).
+ *
+ * The MMR uses a multiplexed crossbar — as many ports as physical
+ * links — because it "reduces silicon area by V and V^2, respectively,
+ * with respect to a partially multiplexed and a fully de-multiplexed
+ * crossbar, where V is the number of virtual channels per link".  The
+ * price is arbitration every time an input link switches virtual
+ * channels, plus a one-clock switch reconfiguration between flit
+ * cycles.
+ *
+ * The functional data movement is performed by the router; this
+ * module provides the analytic area/arbitration-delay model behind
+ * bench_crossbar_tradeoff and the reconfiguration bookkeeping.
+ */
+
+#ifndef MMR_ROUTER_CROSSBAR_HH
+#define MMR_ROUTER_CROSSBAR_HH
+
+#include <cstdint>
+
+#include "router/config.hh"
+
+namespace mmr
+{
+
+/** Analytic silicon model of a crossbar organization. */
+struct CrossbarModel
+{
+    CrossbarOrg org = CrossbarOrg::Multiplexed;
+    unsigned numPorts = 8;
+    unsigned vcsPerPort = 256;
+    unsigned datapathBits = 128;
+
+    /**
+     * Crosspoint count — the dominant area term.  A multiplexed
+     * crossbar is P x P, a partially de-multiplexed one (one
+     * crossbar input per VC) is PV x P, a fully de-multiplexed one
+     * PV x PV.
+     */
+    std::uint64_t crosspoints() const;
+
+    /** Area in crosspoint-bit units (crosspoints x datapath width). */
+    double areaUnits() const;
+
+    /** Area relative to the multiplexed organization (1, V, V^2). */
+    double areaRatioVsMultiplexed() const;
+
+    /**
+     * Arbitration fan-in: requesters one output arbiter must consider
+     * per flit cycle.  Multiplexed crossbars arbitrate among P input
+     * links (each pre-filtered to a candidate), de-multiplexed ones
+     * among all P*V virtual channels.
+     */
+    unsigned arbiterFanIn() const;
+
+    /**
+     * Arbitration delay in gate-delay units: a tree arbiter over the
+     * fan-in is ceil(log2(fanin)) levels deep.
+     */
+    unsigned arbitrationDelayUnits() const;
+
+    /**
+     * Whether the switch can recompute settings at the rate the link
+     * requires (§6: 64-128 ns for 1-2 Gb/s links), given a gate delay.
+     */
+    bool meetsCycleTime(double gate_delay_ns, double flit_cycle_ns) const;
+};
+
+/** Reconfiguration accounting for the multiplexed crossbar (§3.4). */
+class ReconfigCounter
+{
+  public:
+    /**
+     * Record the matching applied in a flit cycle; a reconfiguration
+     * happens whenever the input/output assignment changes.
+     *
+     * @param same true when the new matching equals the previous one
+     */
+    void note(bool same);
+
+    std::uint64_t cycles() const { return total; }
+    std::uint64_t reconfigurations() const { return changes; }
+
+    /** Fraction of flit cycles that required a switch reset. */
+    double reconfigRate() const;
+
+  private:
+    std::uint64_t total = 0;
+    std::uint64_t changes = 0;
+};
+
+} // namespace mmr
+
+#endif // MMR_ROUTER_CROSSBAR_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The unit of flow control (§3.1, §3.4).
+ *
+ * PCS data streams are sequences of flits on an established
+ * connection; control and best-effort messages are single-flit packets
+ * (packet size equals flit size), so one struct covers both.  Probes
+ * and acknowledgments for connection establishment are control flits
+ * with a ControlOp payload.
+ */
+
+#ifndef MMR_ROUTER_FLIT_HH
+#define MMR_ROUTER_FLIT_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "traffic/rates.hh"
+
+namespace mmr
+{
+
+/** Operations carried by control words / control packets (§4.3). */
+enum class ControlOp : std::uint8_t
+{
+    None,         ///< plain data or best-effort payload
+    Probe,        ///< EPB routing probe (connection setup)
+    ProbeBack,    ///< backtracking probe
+    Ack,          ///< connection-established acknowledgment
+    Nack,         ///< connection refused / torn down
+    SetBandwidth, ///< dynamic bandwidth renegotiation
+    SetPriority,  ///< dynamic priority change for a VBR connection
+    AbortFrame,   ///< drop the rest of a late video frame
+    Teardown      ///< release an established connection
+};
+
+struct Flit
+{
+    ConnId conn = kInvalidConn;
+    TrafficClass klass = TrafficClass::CBR;
+    ControlOp op = ControlOp::None;
+
+    std::uint32_t seq = 0;    ///< per-connection sequence number
+
+    Cycle createTime = 0;     ///< generation time at the source
+    Cycle readyTime = 0;      ///< ready at the current switch input
+
+    NodeId src = kInvalidNode; ///< network-level source node
+    NodeId dst = kInvalidNode; ///< network-level destination node
+
+    /** Payload for control operations (rate, priority, ...). */
+    double arg = 0.0;
+
+    std::uint16_t hops = 0;   ///< routers traversed so far
+    bool downPhase = false;   ///< up*-down* state for adaptive VCT
+
+    bool isControl() const { return klass == TrafficClass::Control; }
+    bool isStream() const
+    {
+        return klass == TrafficClass::CBR || klass == TrafficClass::VBR;
+    }
+};
+
+} // namespace mmr
+
+#endif // MMR_ROUTER_FLIT_HH

@@ -1,0 +1,105 @@
+#include "router/flow_control.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+CreditManager::CreditManager(unsigned ports, unsigned vcs,
+                             unsigned initial_credits)
+    : numPorts(ports), numVcs(vcs), initial(initial_credits),
+      counters(static_cast<std::size_t>(ports) * vcs, initial_credits)
+{
+    mmr_assert(ports > 0 && vcs > 0, "degenerate credit manager");
+    mmr_assert(initial_credits > 0, "need at least one credit per VC");
+}
+
+std::size_t
+CreditManager::index(PortId port, VcId vc) const
+{
+    mmr_assert(port < numPorts && vc < numVcs, "credit index (", port,
+               ",", vc, ") out of range");
+    return static_cast<std::size_t>(port) * numVcs + vc;
+}
+
+bool
+CreditManager::hasCredit(PortId port, VcId vc) const
+{
+    return infinite || counters[index(port, vc)] > 0;
+}
+
+void
+CreditManager::consume(PortId port, VcId vc)
+{
+    if (infinite)
+        return;
+    unsigned &c = counters[index(port, vc)];
+    mmr_assert(c > 0, "consuming a credit that is not there on (",
+               port, ",", vc, ")");
+    --c;
+}
+
+void
+CreditManager::replenish(PortId port, VcId vc)
+{
+    if (infinite)
+        return;
+    unsigned &c = counters[index(port, vc)];
+    mmr_assert(c < initial, "credit overflow on (", port, ",", vc, ")");
+    ++c;
+}
+
+unsigned
+CreditManager::credits(PortId port, VcId vc) const
+{
+    return counters[index(port, vc)];
+}
+
+void
+CreditManager::reset(PortId port, VcId vc)
+{
+    counters[index(port, vc)] = initial;
+}
+
+namespace
+{
+// arg is carried as signed 16.16 fixed point in the low 32 bits.
+constexpr double kFixedScale = 65536.0;
+} // namespace
+
+std::uint64_t
+ControlWord::encode() const
+{
+    const auto op_bits = static_cast<std::uint64_t>(op) & 0xff;
+    const auto conn_bits = static_cast<std::uint64_t>(conn) & 0xffffff;
+    const double clamped =
+        std::min(32767.0, std::max(-32768.0, arg));
+    const auto arg_fixed = static_cast<std::int32_t>(
+        std::lround(clamped * kFixedScale));
+    const auto arg_bits =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(arg_fixed));
+    return (op_bits << 56) | (conn_bits << 32) | arg_bits;
+}
+
+ControlWord
+ControlWord::decode(std::uint64_t bits)
+{
+    ControlWord w;
+    w.op = static_cast<ControlOp>((bits >> 56) & 0xff);
+    w.conn = static_cast<ConnId>((bits >> 32) & 0xffffff);
+    const auto arg_fixed =
+        static_cast<std::int32_t>(static_cast<std::uint32_t>(bits));
+    w.arg = static_cast<double>(arg_fixed) / kFixedScale;
+    return w;
+}
+
+bool
+ControlWord::operator==(const ControlWord &o) const
+{
+    return op == o.op && conn == o.conn &&
+           std::fabs(arg - o.arg) < 1.0 / kFixedScale;
+}
+
+} // namespace mmr

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Link-level virtual-channel flow control (§3.1, §4.2).
+ *
+ * The MMR uses credit-based flow control to guarantee flits are never
+ * dropped: a flit may only be forwarded on an output virtual channel
+ * when the downstream buffer has space, and small flit buffers make
+ * back-pressure propagate quickly toward the source interface.
+ *
+ * Control words ride the links alongside flits; besides credits they
+ * encapsulate the dynamic bandwidth management commands of §4.3
+ * (Myrinet-style command encodings).
+ */
+
+#ifndef MMR_ROUTER_FLOW_CONTROL_HH
+#define MMR_ROUTER_FLOW_CONTROL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "router/flit.hh"
+
+namespace mmr
+{
+
+/** Per-(output port, output VC) credit counters. */
+class CreditManager
+{
+  public:
+    /**
+     * @param ports number of output ports
+     * @param vcs virtual channels per port
+     * @param initial_credits downstream buffer depth in flits
+     */
+    CreditManager(unsigned ports, unsigned vcs, unsigned initial_credits);
+
+    /**
+     * Single-router (§5) experiments attach infinite sinks: credits
+     * never run out.
+     */
+    void setInfinite(bool inf) { infinite = inf; }
+    bool isInfinite() const { return infinite; }
+
+    bool hasCredit(PortId port, VcId vc) const;
+    void consume(PortId port, VcId vc);
+    void replenish(PortId port, VcId vc);
+
+    unsigned credits(PortId port, VcId vc) const;
+    unsigned initialCredits() const { return initial; }
+
+    /** Reset one VC's credits to the initial value (VC released). */
+    void reset(PortId port, VcId vc);
+
+  private:
+    std::size_t index(PortId port, VcId vc) const;
+
+    unsigned numPorts;
+    unsigned numVcs;
+    unsigned initial;
+    bool infinite = false;
+    std::vector<unsigned> counters;
+};
+
+/**
+ * A link control word: the out-of-band command channel of §4.3.
+ * Encoded into 64 bits for transmission realism (op:8 | conn:24 |
+ * arg:32 fixed-point).
+ */
+struct ControlWord
+{
+    ControlOp op = ControlOp::None;
+    ConnId conn = kInvalidConn;
+    double arg = 0.0; ///< rate in Mb/s, priority level, etc.
+
+    std::uint64_t encode() const;
+    static ControlWord decode(std::uint64_t bits);
+
+    bool operator==(const ControlWord &o) const;
+};
+
+} // namespace mmr
+
+#endif // MMR_ROUTER_FLOW_CONTROL_HH

@@ -1,0 +1,49 @@
+#include "router/phit_buffer.hh"
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+PhitBuffer::PhitBuffer(unsigned depth_phits, unsigned phits_per_flit)
+    : depthPhits(depth_phits), phitsPerFlit(phits_per_flit)
+{
+    mmr_assert(phits_per_flit > 0, "phits per flit must be positive");
+    mmr_assert(depth_phits >= phits_per_flit,
+               "phit buffer smaller than one flit");
+}
+
+bool
+PhitBuffer::push(const Flit &f)
+{
+    if (full())
+        return false;
+    fifo.push_back(f);
+    return true;
+}
+
+Flit
+PhitBuffer::pop()
+{
+    mmr_assert(!fifo.empty(), "pop() from empty phit buffer");
+    Flit f = fifo.front();
+    fifo.pop_front();
+    return f;
+}
+
+const Flit &
+PhitBuffer::head() const
+{
+    mmr_assert(!fifo.empty(), "head() of empty phit buffer");
+    return fifo.front();
+}
+
+unsigned
+PhitBuffer::requiredDepth(unsigned decode_cycles, unsigned phits_per_flit)
+{
+    // One flit's worth of phits arrives per flit cycle; the decode
+    // pipeline is decode_cycles deep, plus the flit being decoded.
+    return (decode_cycles + 1) * phits_per_flit;
+}
+
+} // namespace mmr

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Link phit buffers (§3.2).
+ *
+ * Small buffers at each physical input link, "deep enough to store all
+ * the phits that arrive during a decoding period", i.e. while the VC
+ * memory address for the incoming flit is being computed.  They also
+ * provide the low-latency VCT path for short messages when the
+ * requested output link is free.
+ *
+ * At flit-cycle granularity the decoding period is a sub-cycle effect;
+ * functionally the buffer is a small FIFO of flits that must never
+ * overflow (overflow means the decode pipeline was mis-provisioned,
+ * which validate() makes impossible).
+ */
+
+#ifndef MMR_ROUTER_PHIT_BUFFER_HH
+#define MMR_ROUTER_PHIT_BUFFER_HH
+
+#include <deque>
+
+#include "router/flit.hh"
+
+namespace mmr
+{
+
+class PhitBuffer
+{
+  public:
+    /**
+     * @param depth_phits buffer capacity in phits
+     * @param phits_per_flit how many phits one flit occupies
+     */
+    PhitBuffer(unsigned depth_phits, unsigned phits_per_flit);
+
+    /** Capacity in whole flits. */
+    unsigned flitCapacity() const { return depthPhits / phitsPerFlit; }
+
+    bool full() const { return fifo.size() >= flitCapacity(); }
+    bool empty() const { return fifo.empty(); }
+    std::size_t depth() const { return fifo.size(); }
+
+    /** Accept a flit arriving from the link; false when full. */
+    bool push(const Flit &f);
+
+    Flit pop();
+    const Flit &head() const;
+
+    /** Phits that would arrive during a decode of @p decode_cycles. */
+    static unsigned requiredDepth(unsigned decode_cycles,
+                                  unsigned phits_per_flit);
+
+  private:
+    unsigned depthPhits;
+    unsigned phitsPerFlit;
+    std::deque<Flit> fifo;
+};
+
+} // namespace mmr
+
+#endif // MMR_ROUTER_PHIT_BUFFER_HH

@@ -1,0 +1,569 @@
+#include "router/router.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "traffic/rates.hh"
+
+namespace mmr
+{
+
+MmrRouter::MmrRouter(const RouterConfig &cfg_, MetricsRecorder *metrics_)
+    : cfg(cfg_), metrics(metrics_), rand(cfg_.seed),
+      sched(SwitchScheduler::create(cfg_)),
+      admit(cfg_.numPorts, cfg_.cyclesPerRound(), cfg_.concurrencyFactor,
+            cfg_.bestEffortReserve),
+      routes(cfg_.numPorts, cfg_.vcsPerPort),
+      creditMgr(cfg_.numPorts, cfg_.vcsPerPort, cfg_.vcBufferFlits),
+      bypassMasks(cfg_.numPorts)
+{
+    cfg.validate();
+    // Anderson et al.'s iterative matching arbitrates randomly, but
+    // each queue offers its *oldest* cell — so Autonet mode pairs the
+    // random switch arbiter with age-ordered candidate selection
+    // rather than random selection.
+    const bool random_candidates = false;
+    inputMems.reserve(cfg.numPorts);
+    linkScheds.reserve(cfg.numPorts);
+    PriorityPolicy policy = PriorityPolicy::Biased;
+    if (cfg.scheduler == SchedulerKind::FixedPriority)
+        policy = PriorityPolicy::Fixed;
+    else if (cfg.scheduler == SchedulerKind::AgePriority ||
+             cfg.scheduler == SchedulerKind::Autonet)
+        policy = PriorityPolicy::Age;
+    const unsigned phits_per_flit = cfg.flitBits / cfg.phitBits;
+    phitBufs.reserve(cfg.numPorts);
+    for (PortId p = 0; p < cfg.numPorts; ++p) {
+        inputMems.emplace_back(cfg.vcsPerPort, cfg.vcBufferFlits);
+        linkScheds.emplace_back(p, &inputMems.back(), policy,
+                                cfg.cyclesPerRound(), random_candidates);
+        // §3.2: deep enough for the phits arriving during one decode
+        // period, plus headroom for a couple of back-to-back probes.
+        phitBufs.emplace_back(
+            PhitBuffer::requiredDepth(3, phits_per_flit),
+            phits_per_flit);
+    }
+    phitBufOuts.resize(cfg.numPorts);
+    candScratch.resize(cfg.numPorts);
+    // Stand-alone routers deliver to an infinite sink by default.
+    creditMgr.setInfinite(true);
+}
+
+VcMemory &
+MmrRouter::inputMemory(PortId p)
+{
+    mmr_assert(p < inputMems.size(), "input port out of range");
+    return inputMems[p];
+}
+
+LinkScheduler &
+MmrRouter::linkScheduler(PortId p)
+{
+    mmr_assert(p < linkScheds.size(), "input port out of range");
+    return linkScheds[p];
+}
+
+ConnId
+MmrRouter::nextLocalConn()
+{
+    return localConnSeq++;
+}
+
+// ---------------------------------------------------------------------
+// Connection management
+// ---------------------------------------------------------------------
+
+ConnId
+MmrRouter::openCbr(PortId in, PortId out, double rate_bps)
+{
+    if (rate_bps <= 0.0 || rate_bps > cfg.linkRateBps)
+        return kInvalidConn; // a link can never carry this rate
+    const unsigned cycles =
+        cyclesPerRound(rate_bps, cfg.linkRateBps, cfg.cyclesPerRound());
+    if (!admit.tryAdmitCbr(out, cycles))
+        return kInvalidConn;
+
+    SegmentParams p;
+    p.id = nextLocalConn();
+    p.klass = TrafficClass::CBR;
+    p.in = in;
+    p.inVc = routes.allocInputVc(in);
+    p.out = out;
+    p.outVc = routes.allocOutputVc(out);
+    p.allocCycles = cycles;
+    p.interArrival = interArrivalCycles(rate_bps, cfg.linkRateBps);
+    if (p.inVc == kInvalidVc || p.outVc == kInvalidVc ||
+        !installSegment(p)) {
+        if (p.inVc != kInvalidVc)
+            routes.freeInputVc(in, p.inVc);
+        if (p.outVc != kInvalidVc)
+            routes.freeOutputVc(out, p.outVc);
+        admit.releaseCbr(out, cycles);
+        return kInvalidConn;
+    }
+    return p.id;
+}
+
+ConnId
+MmrRouter::openVbr(PortId in, PortId out, double mean_bps,
+                   double peak_bps, int priority)
+{
+    if (mean_bps <= 0.0 || peak_bps < mean_bps ||
+        peak_bps > cfg.linkRateBps)
+        return kInvalidConn;
+    const unsigned round = cfg.cyclesPerRound();
+    const unsigned perm = cyclesPerRound(mean_bps, cfg.linkRateBps, round);
+    const unsigned peak = cyclesPerRound(peak_bps, cfg.linkRateBps, round);
+    if (!admit.tryAdmitVbr(out, perm, peak))
+        return kInvalidConn;
+
+    SegmentParams p;
+    p.id = nextLocalConn();
+    p.klass = TrafficClass::VBR;
+    p.in = in;
+    p.inVc = routes.allocInputVc(in);
+    p.out = out;
+    p.outVc = routes.allocOutputVc(out);
+    p.permCycles = perm;
+    p.peakCycles = peak;
+    p.interArrival = interArrivalCycles(mean_bps, cfg.linkRateBps);
+    p.priority = priority;
+    if (p.inVc == kInvalidVc || p.outVc == kInvalidVc ||
+        !installSegment(p)) {
+        if (p.inVc != kInvalidVc)
+            routes.freeInputVc(in, p.inVc);
+        if (p.outVc != kInvalidVc)
+            routes.freeOutputVc(out, p.outVc);
+        admit.releaseVbr(out, perm, peak);
+        return kInvalidConn;
+    }
+    return p.id;
+}
+
+ConnId
+MmrRouter::openBestEffort(PortId in, PortId out)
+{
+    SegmentParams p;
+    p.id = nextLocalConn();
+    p.klass = TrafficClass::BestEffort;
+    p.in = in;
+    p.inVc = routes.allocInputVc(in);
+    p.out = out;
+    p.outVc = routes.allocOutputVc(out);
+    if (p.inVc == kInvalidVc || p.outVc == kInvalidVc ||
+        !installSegment(p)) {
+        if (p.inVc != kInvalidVc)
+            routes.freeInputVc(in, p.inVc);
+        if (p.outVc != kInvalidVc)
+            routes.freeOutputVc(out, p.outVc);
+        return kInvalidConn;
+    }
+    return p.id;
+}
+
+bool
+MmrRouter::installSegment(const SegmentParams &p)
+{
+    if (p.id == kInvalidConn || p.in >= cfg.numPorts ||
+        p.out >= cfg.numPorts || p.inVc >= cfg.vcsPerPort ||
+        p.outVc >= cfg.vcsPerPort)
+        return false;
+    if (conns.count(p.id))
+        return false;
+
+    VcState &vc = inputMems[p.in].vc(p.inVc);
+    if (vc.bound())
+        return false;
+
+    switch (p.klass) {
+      case TrafficClass::CBR:
+        vc.bindCbr(p.id, p.allocCycles, p.interArrival);
+        break;
+      case TrafficClass::VBR:
+        vc.bindVbr(p.id, p.permCycles, p.peakCycles, p.interArrival,
+                   p.priority);
+        break;
+      case TrafficClass::BestEffort:
+        vc.bindBestEffort(p.id);
+        break;
+      case TrafficClass::Control:
+        vc.bindControl(p.id);
+        break;
+    }
+    // Credits are deliberately NOT touched here: they track the
+    // downstream buffer occupancy of the link VC, which outlives any
+    // one segment (a reused output VC may still have a flit draining
+    // downstream).
+    vc.setMapping(p.out, p.outVc);
+    vc.setTieBreak(rand.uniform());
+    routes.map(ChannelRef{p.in, p.inVc}, ChannelRef{p.out, p.outVc});
+    conns.emplace(p.id, p);
+    return true;
+}
+
+void
+MmrRouter::removeSegment(ConnId id)
+{
+    auto it = conns.find(id);
+    mmr_assert(it != conns.end(), "removing unknown connection ", id);
+    const SegmentParams p = it->second;
+
+    VcState &vc = inputMems[p.in].vc(p.inVc);
+    mmr_assert(vc.empty() && vc.pendingGrants() == 0,
+               "removing segment with in-flight flits on conn ", id);
+    vc.release();
+    routes.unmap(ChannelRef{p.in, p.inVc});
+    if (p.ownsInputVc)
+        routes.freeInputVc(p.in, p.inVc);
+    if (p.ownsOutputVc)
+        routes.freeOutputVc(p.out, p.outVc);
+
+    if (p.klass == TrafficClass::CBR && p.allocCycles > 0)
+        admit.releaseCbr(p.out, p.allocCycles);
+    else if (p.klass == TrafficClass::VBR)
+        admit.releaseVbr(p.out, p.permCycles, p.peakCycles);
+
+    conns.erase(it);
+    if (segmentRemoved)
+        segmentRemoved(p);
+}
+
+bool
+MmrRouter::close(ConnId id)
+{
+    if (!conns.count(id))
+        return false;
+    removeSegment(id);
+    return true;
+}
+
+const SegmentParams *
+MmrRouter::connection(ConnId id) const
+{
+    auto it = conns.find(id);
+    return it == conns.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------
+// Dynamic bandwidth management
+// ---------------------------------------------------------------------
+
+bool
+MmrRouter::renegotiateBandwidth(ConnId id, double new_rate_bps)
+{
+    auto it = conns.find(id);
+    if (it == conns.end() || it->second.klass != TrafficClass::CBR)
+        return false;
+    if (new_rate_bps <= 0.0 || new_rate_bps > cfg.linkRateBps)
+        return false;
+    SegmentParams &p = it->second;
+    const unsigned cycles = cyclesPerRound(new_rate_bps, cfg.linkRateBps,
+                                           cfg.cyclesPerRound());
+    if (!admit.renegotiateCbr(p.out, p.allocCycles, cycles))
+        return false;
+    p.allocCycles = cycles;
+    p.interArrival = interArrivalCycles(new_rate_bps, cfg.linkRateBps);
+    VcState &vc = inputMems[p.in].vc(p.inVc);
+    vc.setCbrAlloc(cycles);
+    vc.setInterArrival(p.interArrival);
+    return true;
+}
+
+bool
+MmrRouter::setConnectionPriority(ConnId id, int priority)
+{
+    auto it = conns.find(id);
+    if (it == conns.end() || it->second.klass != TrafficClass::VBR)
+        return false;
+    it->second.priority = priority;
+    inputMems[it->second.in].vc(it->second.inVc).setUserPriority(priority);
+    return true;
+}
+
+bool
+MmrRouter::applyControlWord(const ControlWord &w)
+{
+    switch (w.op) {
+      case ControlOp::SetBandwidth:
+        // arg carries the new rate in Mb/s.
+        return renegotiateBandwidth(w.conn, w.arg * kMbps);
+      case ControlOp::SetPriority:
+        return setConnectionPriority(w.conn,
+                                     static_cast<int>(w.arg));
+      case ControlOp::Teardown:
+        return close(w.conn);
+      default:
+        return false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------
+
+bool
+MmrRouter::inject(ConnId id, Flit f)
+{
+    auto it = conns.find(id);
+    mmr_assert(it != conns.end(), "inject on unknown connection ", id);
+    const SegmentParams &p = it->second;
+    f.conn = id;
+    f.klass = p.klass;
+    if (!inputMems[p.in].deposit(p.inVc, f)) {
+        ++statInjectReject;
+        return false;
+    }
+    ++statInjected;
+    return true;
+}
+
+bool
+MmrRouter::injectRaw(PortId in, VcId vc, const Flit &f)
+{
+    mmr_assert(in < cfg.numPorts && vc < cfg.vcsPerPort,
+               "injectRaw target out of range");
+    if (!inputMems[in].deposit(vc, f)) {
+        ++statInjectReject;
+        return false;
+    }
+    ++statInjected;
+    return true;
+}
+
+bool
+MmrRouter::offerControl(PortId in, PortId out, Flit f)
+{
+    mmr_assert(in < cfg.numPorts && out < cfg.numPorts,
+               "control ports out of range");
+    f.klass = TrafficClass::Control;
+    if (!phitBufs[in].push(f)) {
+        ++statControlDrops; // link back-pressure on the probe
+        return false;
+    }
+    phitBufOuts[in].push_back(out);
+    return true;
+}
+
+std::size_t
+MmrRouter::phitBufferDepth(PortId in) const
+{
+    mmr_assert(in < cfg.numPorts, "input port out of range");
+    return phitBufs[in].depth();
+}
+
+bool
+MmrRouter::creditAvailable(const VcState &vc) const
+{
+    if (creditMgr.isInfinite())
+        return true;
+    return creditMgr.credits(vc.outPort(), vc.outVc()) >
+           vc.pendingGrants();
+}
+
+// ---------------------------------------------------------------------
+// Clocked
+// ---------------------------------------------------------------------
+
+void
+MmrRouter::processBypass(Cycle now)
+{
+    // Ports used by the matching that transmits during this cycle.
+    std::vector<bool> in_busy(cfg.numPorts, false);
+    std::vector<bool> out_busy(cfg.numPorts, false);
+    for (const Candidate &c : currentMatching) {
+        in_busy[c.in] = true;
+        out_busy[c.out] = true;
+    }
+
+    // Drain the phit buffers (decoded control packets) in port order.
+    struct BypassReq
+    {
+        PortId in;
+        PortId out;
+        Flit flit;
+    };
+    std::vector<BypassReq> pending;
+    for (PortId p = 0; p < cfg.numPorts; ++p) {
+        while (!phitBufs[p].empty()) {
+            BypassReq req;
+            req.in = p;
+            req.flit = phitBufs[p].pop();
+            req.out = phitBufOuts[p].front();
+            phitBufOuts[p].pop_front();
+            pending.push_back(std::move(req));
+        }
+    }
+
+    for (BypassReq &req : pending) {
+        if (!in_busy[req.in] && !out_busy[req.out]) {
+            // Cut through right now; the ports stay busy for the
+            // arbitration of the next flit cycle (§3.4).
+            in_busy[req.in] = true;
+            out_busy[req.out] = true;
+            bypassMasks.busyIn.set(req.in);
+            bypassMasks.busyOut.set(req.out);
+            ++statBypassHits;
+            ++statForwarded;
+            ++statByClass[static_cast<int>(TrafficClass::Control)];
+            if (metrics) {
+                metrics->recordDeparture(
+                    req.flit.conn, now,
+                    static_cast<double>(now - req.flit.readyTime));
+            }
+            if (sink)
+                sink(req.out, kInvalidVc, req.flit, now);
+            continue;
+        }
+        // Blocked: buffer on a (lazily opened) control channel and let
+        // the synchronous scheduler move it (highest service tier).
+        ++statBypassMisses;
+        const unsigned key = req.in * cfg.numPorts + req.out;
+        auto it = controlChans.find(key);
+        ConnId chan = kInvalidConn;
+        if (it != controlChans.end()) {
+            chan = it->second;
+        } else {
+            SegmentParams p;
+            p.id = nextLocalConn();
+            p.klass = TrafficClass::Control;
+            p.in = req.in;
+            p.inVc = routes.allocInputVc(req.in);
+            p.out = req.out;
+            p.outVc = routes.allocOutputVc(req.out);
+            if (p.inVc == kInvalidVc || p.outVc == kInvalidVc ||
+                !installSegment(p)) {
+                if (p.inVc != kInvalidVc)
+                    routes.freeInputVc(req.in, p.inVc);
+                if (p.outVc != kInvalidVc)
+                    routes.freeOutputVc(req.out, p.outVc);
+                ++statControlDrops;
+                continue;
+            }
+            controlChans.emplace(key, p.id);
+            chan = p.id;
+        }
+        Flit f = req.flit;
+        if (!inject(chan, f))
+            ++statControlDrops;
+    }
+}
+
+void
+MmrRouter::evaluate(Cycle now)
+{
+    // Asynchronous VCT cut-throughs happen "within" the current flit
+    // cycle, before the arbitration for the next one sees the masks.
+    processBypass(now);
+
+    for (PortId p = 0; p < cfg.numPorts; ++p) {
+        candScratch[p].clear();
+        linkScheds[p].collectCandidates(now, cfg.candidates, creditMgr,
+                                        rand, candScratch[p]);
+        if (!creditMgr.isInfinite()) {
+            // Re-check credits against pending grants (the coarse
+            // credits_available bit cannot see in-flight grants).
+            auto &v = candScratch[p];
+            v.erase(std::remove_if(
+                        v.begin(), v.end(),
+                        [this](const Candidate &c) {
+                            return !creditAvailable(
+                                inputMems[c.in].vc(c.vc));
+                        }),
+                    v.end());
+        }
+    }
+
+    nextMatching = sched->schedule(candScratch, bypassMasks, rand);
+    bypassMasks.busyIn.clearAll();
+    bypassMasks.busyOut.clearAll();
+
+    for (const Candidate &c : nextMatching)
+        inputMems[c.in].vc(c.vc).noteGrantIssued();
+
+    statMatchSize.add(static_cast<double>(nextMatching.size()));
+}
+
+void
+MmrRouter::deliver(const Candidate &grant, Flit &&flit, Cycle now)
+{
+    ++statForwarded;
+    ++statByClass[static_cast<int>(flit.klass)];
+    if (metrics) {
+        metrics->recordDeparture(
+            grant.conn, now,
+            static_cast<double>(now - flit.readyTime));
+    }
+    if (creditReturn)
+        creditReturn(grant.in, grant.vc, now);
+    if (sink)
+        sink(grant.out, grant.outVc, flit, now);
+}
+
+void
+MmrRouter::maybeAutoRelease(ConnId id, PortId in, VcId in_vc)
+{
+    auto it = conns.find(id);
+    if (it == conns.end() || !it->second.releaseWhenEmpty)
+        return;
+    const VcState &vc = inputMems[in].vc(in_vc);
+    if (vc.empty() && vc.pendingGrants() == 0) {
+        // Drop any control-channel cache entry pointing at this conn.
+        for (auto cit = controlChans.begin(); cit != controlChans.end();
+             ++cit) {
+            if (cit->second == id) {
+                controlChans.erase(cit);
+                break;
+            }
+        }
+        removeSegment(id);
+    }
+}
+
+void
+MmrRouter::applyMatching(Cycle now)
+{
+    for (const Candidate &grant : currentMatching) {
+        VcState &vc = inputMems[grant.in].vc(grant.vc);
+        mmr_assert(!vc.empty(), "granted VC (", grant.in, ",", grant.vc,
+                   ") is empty at apply time");
+        Flit flit = vc.pop();
+        vc.noteGrantApplied();
+        vc.noteServiced();
+        inputMems[grant.in].noteDrained(grant.vc);
+        creditMgr.consume(grant.out, grant.outVc);
+        deliver(grant, std::move(flit), now);
+        maybeAutoRelease(grant.conn, grant.in, grant.vc);
+    }
+
+    if (metrics) {
+        metrics->recordOutputSlots(
+            static_cast<unsigned>(currentMatching.size()), cfg.numPorts,
+            now);
+    }
+
+    // Reconfiguration accounting for the multiplexed crossbar: the
+    // switch resets whenever the port assignment changes.
+    std::vector<std::pair<PortId, PortId>> config_now;
+    config_now.reserve(currentMatching.size());
+    for (const Candidate &g : currentMatching)
+        config_now.emplace_back(g.in, g.out);
+    std::sort(config_now.begin(), config_now.end());
+    reconfig.note(config_now == lastConfig);
+    lastConfig = std::move(config_now);
+}
+
+void
+MmrRouter::advance(Cycle now)
+{
+    applyMatching(now);
+    currentMatching = std::move(nextMatching);
+    nextMatching.clear();
+}
+
+std::uint64_t
+MmrRouter::forwardedByClass(TrafficClass c) const
+{
+    return statByClass[static_cast<int>(c)];
+}
+
+} // namespace mmr

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * The MultiMedia Router (Figure 1).
+ *
+ * An NxN single-chip router with, per physical input link: a phit
+ * buffer, a virtual channel memory (interleaved RAM banks holding V
+ * virtual channels), and a link scheduler; plus a multiplexed crossbar
+ * with a central switch scheduler, a routing and arbitration unit
+ * holding channel mappings, per-output-link admission registers and
+ * credit-based flow control.
+ *
+ * Time advances in flit cycles.  During cycle t the switch transmits
+ * the flits of the matching computed in cycle t-1 while the schedulers
+ * concurrently compute the matching for t+1 (§3.4); control packets
+ * may cut through asynchronously when their ports are idle, making
+ * those ports busy for the next arbitration.
+ */
+
+#ifndef MMR_ROUTER_ROUTER_HH
+#define MMR_ROUTER_ROUTER_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "metrics/recorder.hh"
+#include "router/admission.hh"
+#include "router/config.hh"
+#include "router/crossbar.hh"
+#include "router/flow_control.hh"
+#include "router/link_sched.hh"
+#include "router/phit_buffer.hh"
+#include "router/routing_unit.hh"
+#include "router/switch_sched.hh"
+#include "router/vc_memory.hh"
+#include "sim/kernel.hh"
+
+namespace mmr
+{
+
+/** Everything needed to install one router's share of a connection. */
+struct SegmentParams
+{
+    ConnId id = kInvalidConn;
+    TrafficClass klass = TrafficClass::CBR;
+    PortId in = kInvalidPort;
+    VcId inVc = kInvalidVc;
+    PortId out = kInvalidPort;
+    VcId outVc = kInvalidVc;
+    unsigned allocCycles = 0; ///< CBR reservation (cycles/round)
+    unsigned permCycles = 0;  ///< VBR permanent (cycles/round)
+    unsigned peakCycles = 0;  ///< VBR peak (cycles/round)
+    double interArrival = 0.0;
+    int priority = 0;
+    bool releaseWhenEmpty = false; ///< VCT packets free their VC
+    bool ownsInputVc = true;  ///< input VC came from this router's pool
+    bool ownsOutputVc = true; ///< output VC came from this router's pool
+};
+
+class MmrRouter : public Clocked
+{
+  public:
+    /** Delivery callback for flits leaving an output port. */
+    using SinkFn =
+        std::function<void(PortId out, VcId out_vc, const Flit &, Cycle)>;
+
+    /** Credit-return callback: a flit left input VC (in, vc). */
+    using CreditFn = std::function<void(PortId in, VcId vc, Cycle)>;
+
+    /** Invoked after a segment is removed (its params by value). */
+    using SegmentFn = std::function<void(const SegmentParams &)>;
+
+    explicit MmrRouter(const RouterConfig &cfg,
+                       MetricsRecorder *metrics = nullptr);
+
+    // ------------------------------------------------------------------
+    // Connection management (§4.2) — local convenience API.  The
+    // network layer performs admission and VC allocation hop by hop
+    // (EPB) and calls installSegment directly.
+    // ------------------------------------------------------------------
+
+    /** Open a CBR connection through this router; kInvalidConn on
+     * admission or VC exhaustion failure. */
+    ConnId openCbr(PortId in, PortId out, double rate_bps);
+
+    /** Open a VBR connection (permanent + peak rates, §4.2). */
+    ConnId openVbr(PortId in, PortId out, double mean_bps,
+                   double peak_bps, int priority);
+
+    /** Open an unreserved best-effort channel between two ports. */
+    ConnId openBestEffort(PortId in, PortId out);
+
+    /** Close a locally-opened connection and release its resources. */
+    bool close(ConnId id);
+
+    /** Install a pre-reserved segment (admission already charged). */
+    bool installSegment(const SegmentParams &p);
+
+    /** Remove a segment, releasing VCs and admission state. */
+    void removeSegment(ConnId id);
+
+    const SegmentParams *connection(ConnId id) const;
+
+    /** Number of installed segments. */
+    std::size_t connectionCount() const { return conns.size(); }
+
+    // ------------------------------------------------------------------
+    // Dynamic bandwidth management (§4.3 control words)
+    // ------------------------------------------------------------------
+
+    /** Renegotiate a CBR connection's bandwidth; false if infeasible. */
+    bool renegotiateBandwidth(ConnId id, double new_rate_bps);
+
+    /** Change a VBR connection's user priority. */
+    bool setConnectionPriority(ConnId id, int priority);
+
+    /** Apply a decoded link control word (§4.3 command channel). */
+    bool applyControlWord(const ControlWord &w);
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    /** Inject a flit on an established connection (readyTime must be
+     * set by the caller). False when the VC buffer is full. */
+    bool inject(ConnId id, Flit f);
+
+    /** Link-side arrival into an explicit (port, VC). */
+    bool injectRaw(PortId in, VcId vc, const Flit &f);
+
+    /**
+     * Offer a control packet for asynchronous VCT cut-through (§3.4).
+     * It enters the input link's phit buffer ("deep enough to store
+     * all the phits that arrive during a decoding period"); from
+     * there it is forwarded this cycle when the ports are idle,
+     * buffered on a control channel for synchronous scheduling when
+     * they are not, or — if even the phit buffer is full — refused
+     * (false), modelling link-level back-pressure on probes.
+     */
+    bool offerControl(PortId in, PortId out, Flit f);
+
+    /** Occupancy of an input link's phit buffer (flits). */
+    std::size_t phitBufferDepth(PortId in) const;
+
+    void setSink(SinkFn fn) { sink = std::move(fn); }
+    void setCreditReturn(CreditFn fn) { creditReturn = std::move(fn); }
+    void setSegmentRemoved(SegmentFn fn)
+    {
+        segmentRemoved = std::move(fn);
+    }
+
+    // ------------------------------------------------------------------
+    // Clocked interface
+    // ------------------------------------------------------------------
+    void evaluate(Cycle now) override;
+    void advance(Cycle now) override;
+
+    // ------------------------------------------------------------------
+    // Component access (tests, network layer, benches)
+    // ------------------------------------------------------------------
+    const RouterConfig &config() const { return cfg; }
+    AdmissionController &admission() { return admit; }
+    const AdmissionController &admission() const { return admit; }
+    RoutingUnit &routing() { return routes; }
+    VcMemory &inputMemory(PortId p);
+    LinkScheduler &linkScheduler(PortId p);
+    CreditManager &credits() { return creditMgr; }
+    Rng &rng() { return rand; }
+
+    // Statistics
+    std::uint64_t flitsInjected() const { return statInjected; }
+    std::uint64_t flitsForwarded() const { return statForwarded; }
+    std::uint64_t forwardedByClass(TrafficClass c) const;
+    std::uint64_t bypassHits() const { return statBypassHits; }
+    std::uint64_t bypassMisses() const { return statBypassMisses; }
+    std::uint64_t controlDrops() const { return statControlDrops; }
+    std::uint64_t injectionRejects() const { return statInjectReject; }
+    const StreamStat &matchingSize() const { return statMatchSize; }
+    const ReconfigCounter &reconfigs() const { return reconfig; }
+
+  private:
+    ConnId nextLocalConn();
+    bool creditAvailable(const VcState &vc) const;
+    void applyMatching(Cycle now);
+    void processBypass(Cycle now);
+    void deliver(const Candidate &grant, Flit &&flit, Cycle now);
+    void maybeAutoRelease(ConnId id, PortId in, VcId in_vc);
+
+    RouterConfig cfg;
+    MetricsRecorder *metrics;
+    Rng rand;
+
+    std::vector<VcMemory> inputMems;       ///< one per input port
+    std::vector<LinkScheduler> linkScheds; ///< one per input port
+    std::unique_ptr<SwitchScheduler> sched;
+    AdmissionController admit;
+    RoutingUnit routes;
+    CreditManager creditMgr;
+
+    std::unordered_map<ConnId, SegmentParams> conns;
+    /** Lazily-opened control channels keyed by in * P + out. */
+    std::unordered_map<unsigned, ConnId> controlChans;
+    ConnId localConnSeq = 0;
+
+    Matching currentMatching; ///< applied during this cycle
+    Matching nextMatching;    ///< computed this cycle, applied next
+    PortMasks bypassMasks;    ///< ports claimed by VCT cut-throughs
+
+    /**
+     * Per-input-link phit buffers for asynchronous control traffic
+     * (§3.2).  The requested output port rides alongside each
+     * buffered flit (in hardware it is part of the decoded header).
+     */
+    std::vector<PhitBuffer> phitBufs;
+    std::vector<std::deque<PortId>> phitBufOuts;
+
+    SinkFn sink;
+    CreditFn creditReturn;
+    SegmentFn segmentRemoved;
+
+    std::vector<std::vector<Candidate>> candScratch;
+    std::vector<std::pair<PortId, PortId>> lastConfig; ///< reconfig cmp
+
+    std::uint64_t statInjected = 0;
+    std::uint64_t statForwarded = 0;
+    std::uint64_t statByClass[4] = {0, 0, 0, 0};
+    std::uint64_t statBypassHits = 0;
+    std::uint64_t statBypassMisses = 0;
+    std::uint64_t statControlDrops = 0;
+    std::uint64_t statInjectReject = 0;
+    StreamStat statMatchSize;
+    ReconfigCounter reconfig;
+};
+
+} // namespace mmr
+
+#endif // MMR_ROUTER_ROUTER_HH

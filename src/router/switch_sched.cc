@@ -1,0 +1,421 @@
+#include "router/switch_sched.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+bool
+SwitchScheduler::validate(const Matching &m, unsigned num_ports,
+                          bool allow_output_sharing)
+{
+    std::vector<bool> in_used(num_ports, false);
+    std::vector<bool> out_used(num_ports, false);
+    for (const Candidate &c : m) {
+        if (c.in >= num_ports || c.out >= num_ports)
+            return false;
+        if (in_used[c.in])
+            return false;
+        in_used[c.in] = true;
+        if (!allow_output_sharing) {
+            if (out_used[c.out])
+                return false;
+            out_used[c.out] = true;
+        }
+    }
+    return true;
+}
+
+std::unique_ptr<SwitchScheduler>
+SwitchScheduler::create(const RouterConfig &cfg)
+{
+    switch (cfg.scheduler) {
+      case SchedulerKind::BiasedPriority:
+      case SchedulerKind::FixedPriority:
+      case SchedulerKind::AgePriority:
+        return std::make_unique<GreedyPriorityScheduler>(cfg.numPorts);
+      case SchedulerKind::OutputDriven:
+        return std::make_unique<OutputDrivenScheduler>(
+            cfg.numPorts, cfg.schedIterations);
+      case SchedulerKind::Autonet:
+        return std::make_unique<AutonetScheduler>(cfg.numPorts,
+                                                  cfg.schedIterations);
+      case SchedulerKind::Islip:
+        return std::make_unique<IslipScheduler>(cfg.numPorts,
+                                                cfg.schedIterations);
+      case SchedulerKind::Perfect:
+        return std::make_unique<PerfectSwitchScheduler>(cfg.numPorts);
+    }
+    mmr_panic("unhandled scheduler kind");
+}
+
+GreedyPriorityScheduler::GreedyPriorityScheduler(unsigned num_ports)
+    : numPorts(num_ports)
+{
+}
+
+namespace
+{
+
+/**
+ * Kuhn-style augmenting search: try to route input @p in to one of
+ * its candidate outputs, displacing lower-stage assignments along an
+ * alternating path.  @p holder maps each output to the input holding
+ * it (or numPorts when free), @p choice records which candidate each
+ * input ended up with.
+ */
+bool
+augment(PortId in, const std::vector<std::vector<const Candidate *>> &req,
+        std::vector<unsigned> &holder,
+        std::vector<const Candidate *> &choice,
+        std::vector<bool> &visited, const std::vector<bool> &out_masked,
+        unsigned num_ports)
+{
+    for (const Candidate *c : req[in]) {
+        const PortId out = c->out;
+        if (out_masked[out] || visited[out])
+            continue;
+        visited[out] = true;
+        if (holder[out] == num_ports ||
+            augment(static_cast<PortId>(holder[out]), req, holder, choice,
+                    visited, out_masked, num_ports)) {
+            holder[out] = in;
+            choice[in] = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+Matching
+GreedyPriorityScheduler::schedule(
+    const std::vector<std::vector<Candidate>> &per_input,
+    const PortMasks &masks, Rng &rng)
+{
+    (void)rng; // tie-break randomness is pre-drawn in Candidate::tie
+    flat.clear();
+    for (const auto &cands : per_input)
+        flat.insert(flat.end(), cands.begin(), cands.end());
+
+    // Arbitrate by (tier, priority, stable tie).  Service tiers are
+    // strict (§4.3): the matching is computed tier by tier, from
+    // control down to best effort, and a lower tier may never displace
+    // or reroute a grant won by a higher tier.  Within one tier,
+    // candidates are admitted in priority order but later candidates
+    // may re-route earlier same-tier inputs to alternates (augmenting
+    // paths), yielding a maximum matching for the tier — the
+    // "maximize the probability of assigning virtual channels to
+    // every output link" goal of §4.4.
+    std::sort(flat.begin(), flat.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.tier != b.tier)
+                      return a.tier > b.tier;
+                  if (a.prio != b.prio)
+                      return a.prio > b.prio;
+                  return a.tie > b.tie;
+              });
+
+    std::vector<bool> in_taken(numPorts, false);
+    std::vector<bool> out_taken(numPorts, false);
+    for (PortId p = 0; p < numPorts; ++p) {
+        if (masks.busyIn.test(p))
+            in_taken[p] = true;
+        if (masks.busyOut.test(p))
+            out_taken[p] = true;
+    }
+
+    Matching m;
+    std::vector<std::vector<const Candidate *>> req(numPorts);
+    std::vector<unsigned> holder(numPorts);
+    std::vector<const Candidate *> choice(numPorts);
+    std::vector<bool> tried(numPorts);
+
+    std::size_t tier_begin = 0;
+    while (tier_begin < flat.size()) {
+        const int tier = flat[tier_begin].tier;
+        std::size_t tier_end = tier_begin;
+        while (tier_end < flat.size() && flat[tier_end].tier == tier)
+            ++tier_end;
+
+        // Per-input candidate lists for this tier, in priority order,
+        // restricted to ports still free after the higher tiers.
+        for (PortId p = 0; p < numPorts; ++p) {
+            req[p].clear();
+            holder[p] = numPorts;
+            choice[p] = nullptr;
+            tried[p] = false;
+        }
+        for (std::size_t i = tier_begin; i < tier_end; ++i) {
+            const Candidate &c = flat[i];
+            if (c.in < numPorts && !in_taken[c.in] && !out_taken[c.out])
+                req[c.in].push_back(&c);
+        }
+        for (std::size_t i = tier_begin; i < tier_end; ++i) {
+            const Candidate &c = flat[i];
+            if (c.in >= numPorts || in_taken[c.in] || tried[c.in])
+                continue;
+            tried[c.in] = true; // one augmenting attempt per input
+            std::vector<bool> visited(numPorts, false);
+            augment(c.in, req, holder, choice, visited, out_taken,
+                    numPorts);
+        }
+        for (PortId in = 0; in < numPorts; ++in) {
+            if (choice[in] != nullptr) {
+                m.push_back(*choice[in]);
+                in_taken[in] = true;
+                out_taken[choice[in]->out] = true;
+            }
+        }
+        tier_begin = tier_end;
+    }
+    return m;
+}
+
+OutputDrivenScheduler::OutputDrivenScheduler(unsigned num_ports,
+                                             unsigned iterations)
+    : numPorts(num_ports), iters(iterations)
+{
+    mmr_assert(iters >= 1, "need at least one matching iteration");
+}
+
+Matching
+OutputDrivenScheduler::schedule(
+    const std::vector<std::vector<Candidate>> &per_input,
+    const PortMasks &masks, Rng &rng)
+{
+    (void)rng;
+    Matching m;
+    std::vector<bool> in_used(numPorts, false);
+    std::vector<bool> out_used(numPorts, false);
+    for (PortId p = 0; p < numPorts; ++p) {
+        if (masks.busyIn.test(p))
+            in_used[p] = true;
+        if (masks.busyOut.test(p))
+            out_used[p] = true;
+    }
+
+    const auto better = [](const Candidate *a, const Candidate *b) {
+        if (b == nullptr)
+            return true;
+        if (a->tier != b->tier)
+            return a->tier > b->tier;
+        if (a->prio != b->prio)
+            return a->prio > b->prio;
+        return a->tie > b->tie;
+    };
+
+    for (unsigned it = 0; it < iters; ++it) {
+        // Grant: every free output picks the best request aimed at it.
+        std::vector<const Candidate *> grant(numPorts, nullptr);
+        for (const auto &cands : per_input) {
+            for (const Candidate &c : cands) {
+                if (c.in >= numPorts || in_used[c.in] || out_used[c.out])
+                    continue;
+                if (better(&c, grant[c.out]))
+                    grant[c.out] = &c;
+            }
+        }
+        // Accept: every input takes the best grant it received.
+        std::vector<const Candidate *> accept(numPorts, nullptr);
+        for (PortId out = 0; out < numPorts; ++out) {
+            const Candidate *g = grant[out];
+            if (g != nullptr && better(g, accept[g->in]))
+                accept[g->in] = g;
+        }
+        bool progress = false;
+        for (PortId in = 0; in < numPorts; ++in) {
+            const Candidate *a = accept[in];
+            if (a == nullptr)
+                continue;
+            in_used[a->in] = true;
+            out_used[a->out] = true;
+            m.push_back(*a);
+            progress = true;
+        }
+        if (!progress)
+            break;
+    }
+    return m;
+}
+
+AutonetScheduler::AutonetScheduler(unsigned num_ports, unsigned iterations)
+    : numPorts(num_ports), iters(iterations)
+{
+    mmr_assert(iters >= 1, "need at least one matching iteration");
+}
+
+Matching
+AutonetScheduler::schedule(
+    const std::vector<std::vector<Candidate>> &per_input,
+    const PortMasks &masks, Rng &rng)
+{
+    Matching m;
+    std::vector<bool> in_used(numPorts, false);
+    std::vector<bool> out_used(numPorts, false);
+    for (PortId p = 0; p < numPorts; ++p) {
+        if (masks.busyIn.test(p))
+            in_used[p] = true;
+        if (masks.busyOut.test(p))
+            out_used[p] = true;
+    }
+
+    for (unsigned it = 0; it < iters; ++it) {
+        // Request phase: unmatched inputs request the outputs of all
+        // their still-available candidates.
+        std::vector<std::vector<const Candidate *>> requests(numPorts);
+        for (const auto &cands : per_input) {
+            for (const Candidate &c : cands) {
+                if (c.in < numPorts && !in_used[c.in] &&
+                    !out_used[c.out])
+                    requests[c.out].push_back(&c);
+            }
+        }
+
+        // Grant phase: each free output grants one random requester.
+        std::vector<const Candidate *> grants(numPorts, nullptr);
+        for (PortId out = 0; out < numPorts; ++out) {
+            auto &req = requests[out];
+            if (out_used[out] || req.empty())
+                continue;
+            grants[out] = req[rng.below(req.size())];
+        }
+
+        // Accept phase: each input accepts one random grant.
+        std::vector<std::vector<const Candidate *>> offers(numPorts);
+        for (PortId out = 0; out < numPorts; ++out) {
+            if (grants[out] != nullptr)
+                offers[grants[out]->in].push_back(grants[out]);
+        }
+        bool progress = false;
+        for (PortId in = 0; in < numPorts; ++in) {
+            auto &offer = offers[in];
+            if (offer.empty())
+                continue;
+            const Candidate *pick = offer[rng.below(offer.size())];
+            in_used[pick->in] = true;
+            out_used[pick->out] = true;
+            m.push_back(*pick);
+            progress = true;
+        }
+        if (!progress)
+            break;
+    }
+    return m;
+}
+
+IslipScheduler::IslipScheduler(unsigned num_ports, unsigned iterations)
+    : numPorts(num_ports), iters(iterations), grantPtr(num_ports, 0),
+      acceptPtr(num_ports, 0)
+{
+    mmr_assert(iters >= 1, "need at least one matching iteration");
+}
+
+Matching
+IslipScheduler::schedule(
+    const std::vector<std::vector<Candidate>> &per_input,
+    const PortMasks &masks, Rng &rng)
+{
+    (void)rng;
+    Matching m;
+    std::vector<bool> in_used(numPorts, false);
+    std::vector<bool> out_used(numPorts, false);
+    for (PortId p = 0; p < numPorts; ++p) {
+        if (masks.busyIn.test(p))
+            in_used[p] = true;
+        if (masks.busyOut.test(p))
+            out_used[p] = true;
+    }
+
+    for (unsigned it = 0; it < iters; ++it) {
+        // Requests: candidate per (input, output); keep the best
+        // candidate per pair so the grant can return it.
+        std::vector<std::vector<const Candidate *>> req(
+            numPorts, std::vector<const Candidate *>(numPorts, nullptr));
+        for (const auto &cands : per_input) {
+            for (const Candidate &c : cands) {
+                if (in_used[c.in] || out_used[c.out])
+                    continue;
+                const Candidate *&slot = req[c.out][c.in];
+                if (slot == nullptr || c.tier > slot->tier ||
+                    (c.tier == slot->tier && c.prio > slot->prio))
+                    slot = &c;
+            }
+        }
+
+        // Grant: round-robin from grantPtr over inputs.
+        std::vector<const Candidate *> grant(numPorts, nullptr);
+        for (PortId out = 0; out < numPorts; ++out) {
+            if (out_used[out])
+                continue;
+            for (unsigned k = 0; k < numPorts; ++k) {
+                const unsigned in = (grantPtr[out] + k) % numPorts;
+                if (req[out][in] != nullptr) {
+                    grant[out] = req[out][in];
+                    break;
+                }
+            }
+        }
+
+        // Accept: round-robin from acceptPtr over outputs.
+        for (PortId in = 0; in < numPorts; ++in) {
+            if (in_used[in])
+                continue;
+            const Candidate *best = nullptr;
+            for (unsigned k = 0; k < numPorts; ++k) {
+                const unsigned out = (acceptPtr[in] + k) % numPorts;
+                if (grant[out] != nullptr && grant[out]->in == in) {
+                    best = grant[out];
+                    break;
+                }
+            }
+            if (best == nullptr)
+                continue;
+            in_used[best->in] = true;
+            out_used[best->out] = true;
+            m.push_back(*best);
+            // iSLIP: pointers advance only on first-iteration accepts,
+            // preserving the desynchronization property.
+            if (it == 0) {
+                grantPtr[best->out] = (best->in + 1) % numPorts;
+                acceptPtr[best->in] = (best->out + 1) % numPorts;
+            }
+        }
+    }
+    return m;
+}
+
+PerfectSwitchScheduler::PerfectSwitchScheduler(unsigned num_ports)
+    : numPorts(num_ports)
+{
+}
+
+Matching
+PerfectSwitchScheduler::schedule(
+    const std::vector<std::vector<Candidate>> &per_input,
+    const PortMasks &masks, Rng &rng)
+{
+    (void)rng;
+    // Output conflicts do not exist: each input link simply transmits
+    // its best candidate (one flit per input link per cycle — link
+    // bandwidth still binds, switch bandwidth does not).
+    Matching m;
+    for (const auto &cands : per_input) {
+        const Candidate *best = nullptr;
+        for (const Candidate &c : cands) {
+            if (c.in < numPorts && masks.busyIn.test(c.in))
+                continue;
+            if (best == nullptr || c.tier > best->tier ||
+                (c.tier == best->tier && c.prio > best->prio))
+                best = &c;
+        }
+        if (best != nullptr)
+            m.push_back(*best);
+    }
+    return m;
+}
+
+} // namespace mmr

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Switch scheduling (§4.4, §5.1).
+ *
+ * Input-driven schemes: each link scheduler offers a candidate set,
+ * and the switch scheduler resolves output-port conflicts to compute
+ * the input/output matching applied in the next flit cycle.  Four
+ * algorithms from the paper plus one extension:
+ *
+ *  - GreedyPriority: global arbitration by (service tier, priority),
+ *    used with biased or fixed priorities — the MMR scheme and the
+ *    fixed-priority baseline of §5.1;
+ *  - Autonet: Anderson et al.'s random iterative matching (the DEC
+ *    comparison point);
+ *  - Islip: round-robin iterative matching (extension baseline,
+ *    cf. ref [21] Mekkittikul & McKeown);
+ *  - Perfect: N-times-speedup switch with no port conflicts, the
+ *    delay/jitter lower bound of §5.1.
+ */
+
+#ifndef MMR_ROUTER_SWITCH_SCHED_HH
+#define MMR_ROUTER_SWITCH_SCHED_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "router/config.hh"
+#include "router/link_sched.hh"
+
+namespace mmr
+{
+
+/** The computed input/output assignment for one flit cycle. */
+using Matching = std::vector<Candidate>;
+
+/**
+ * Port-busy masks: ports consumed outside the synchronous matching
+ * (asynchronous VCT cut-throughs of control packets, §3.4).
+ */
+struct PortMasks
+{
+    BitVector busyIn;
+    BitVector busyOut;
+
+    explicit PortMasks(unsigned num_ports)
+        : busyIn(num_ports), busyOut(num_ports)
+    {
+    }
+};
+
+class SwitchScheduler
+{
+  public:
+    virtual ~SwitchScheduler() = default;
+
+    /**
+     * Compute the matching for the next flit cycle.
+     *
+     * @param per_input candidate sets, indexed by input port
+     * @param masks ports already claimed this cycle
+     * @param rng arbitration randomness
+     */
+    virtual Matching schedule(
+        const std::vector<std::vector<Candidate>> &per_input,
+        const PortMasks &masks, Rng &rng) = 0;
+
+    /** Whether output ports may be granted to several inputs. */
+    virtual bool allowsOutputSharing() const { return false; }
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Check matching legality: at most one grant per input, and at
+     * most one per output unless sharing is allowed.
+     */
+    static bool validate(const Matching &m, unsigned num_ports,
+                         bool allow_output_sharing);
+
+    /** Instantiate the scheduler selected by the configuration. */
+    static std::unique_ptr<SwitchScheduler> create(
+        const RouterConfig &cfg);
+};
+
+/** Global (tier, priority) arbitration: MMR biased/fixed schemes. */
+class GreedyPriorityScheduler : public SwitchScheduler
+{
+  public:
+    explicit GreedyPriorityScheduler(unsigned num_ports);
+
+    Matching schedule(const std::vector<std::vector<Candidate>> &per_input,
+                      const PortMasks &masks, Rng &rng) override;
+    std::string name() const override { return "greedy-priority"; }
+
+  private:
+    unsigned numPorts;
+    std::vector<Candidate> flat; ///< reused scratch
+};
+
+/**
+ * Output-driven arbitration (§4.4): "output-driven schemes consider
+ * the set of input virtual channels requesting a given output link" —
+ * each output grants its best requester, each input accepts its best
+ * grant, iterated.  The paper argues this is superior for fully
+ * de-multiplexed switches but unclear for multiplexed ones; the
+ * input_vs_output_driven bench quantifies the comparison.
+ */
+class OutputDrivenScheduler : public SwitchScheduler
+{
+  public:
+    OutputDrivenScheduler(unsigned num_ports, unsigned iterations);
+
+    Matching schedule(const std::vector<std::vector<Candidate>> &per_input,
+                      const PortMasks &masks, Rng &rng) override;
+    std::string name() const override { return "output-driven"; }
+
+  private:
+    unsigned numPorts;
+    unsigned iters;
+};
+
+/** Random request/grant/accept iterative matching (Autonet / PIM). */
+class AutonetScheduler : public SwitchScheduler
+{
+  public:
+    AutonetScheduler(unsigned num_ports, unsigned iterations);
+
+    Matching schedule(const std::vector<std::vector<Candidate>> &per_input,
+                      const PortMasks &masks, Rng &rng) override;
+    std::string name() const override { return "autonet"; }
+
+  private:
+    unsigned numPorts;
+    unsigned iters;
+};
+
+/** Round-robin iterative matching (iSLIP-style extension baseline). */
+class IslipScheduler : public SwitchScheduler
+{
+  public:
+    IslipScheduler(unsigned num_ports, unsigned iterations);
+
+    Matching schedule(const std::vector<std::vector<Candidate>> &per_input,
+                      const PortMasks &masks, Rng &rng) override;
+    std::string name() const override { return "islip"; }
+
+  private:
+    unsigned numPorts;
+    unsigned iters;
+    std::vector<unsigned> grantPtr;  ///< per output, over inputs
+    std::vector<unsigned> acceptPtr; ///< per input, over outputs
+};
+
+/** N-times speedup switch: every input's best candidate is granted. */
+class PerfectSwitchScheduler : public SwitchScheduler
+{
+  public:
+    explicit PerfectSwitchScheduler(unsigned num_ports);
+
+    Matching schedule(const std::vector<std::vector<Candidate>> &per_input,
+                      const PortMasks &masks, Rng &rng) override;
+    bool allowsOutputSharing() const override { return true; }
+    std::string name() const override { return "perfect"; }
+
+  private:
+    unsigned numPorts;
+};
+
+} // namespace mmr
+
+#endif // MMR_ROUTER_SWITCH_SCHED_HH

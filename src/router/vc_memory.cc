@@ -1,0 +1,109 @@
+#include "router/vc_memory.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+unsigned
+VcMemoryModel::wordsPerFlit(unsigned flit_bits) const
+{
+    return (flit_bits + wordBits - 1) / wordBits;
+}
+
+double
+VcMemoryModel::flitAccessNs(unsigned flit_bits) const
+{
+    // Low-order interleaving streams wordsPerFlit words across the
+    // banks; each group of `banks` words takes one access time.
+    const unsigned words = wordsPerFlit(flit_bits);
+    const double groups =
+        std::ceil(static_cast<double>(words) / banks);
+    return groups * accessTimeNs;
+}
+
+double
+VcMemoryModel::sustainableRateBps(unsigned flit_bits) const
+{
+    // Per flit cycle the memory performs one write and one read of a
+    // full flit; single-ported banks serialize the two.
+    const double accesses_per_flit =
+        portsPerBank >= 2 ? 1.0 : 2.0;
+    const double ns_per_flit = accesses_per_flit * flitAccessNs(flit_bits);
+    return static_cast<double>(flit_bits) / (ns_per_flit * 1e-9);
+}
+
+bool
+VcMemoryModel::matchesLink(unsigned flit_bits, double link_rate_bps) const
+{
+    return sustainableRateBps(flit_bits) >= link_rate_bps;
+}
+
+unsigned
+VcMemoryModel::minBanksFor(double link_rate_bps, unsigned flit_bits,
+                           unsigned word_bits, double access_ns,
+                           unsigned ports_per_bank)
+{
+    for (unsigned b = 1; b <= 4096; ++b) {
+        VcMemoryModel m{b, word_bits, access_ns, ports_per_bank};
+        if (m.matchesLink(flit_bits, link_rate_bps))
+            return b;
+    }
+    mmr_fatal("no feasible bank count sustains ", link_rate_bps,
+              " b/s with ", word_bits, "-bit words at ", access_ns, " ns");
+}
+
+VcMemory::VcMemory(unsigned nvcs, unsigned per_vc_depth)
+    : vcs(nvcs), perVcDepth(per_vc_depth), flitsAvail(nvcs)
+{
+    mmr_assert(nvcs > 0, "VC memory needs at least one VC");
+    mmr_assert(per_vc_depth > 0, "per-VC depth must be positive");
+}
+
+VcState &
+VcMemory::vc(VcId v)
+{
+    mmr_assert(v < vcs.size(), "VC ", v, " out of range");
+    return vcs[v];
+}
+
+const VcState &
+VcMemory::vc(VcId v) const
+{
+    mmr_assert(v < vcs.size(), "VC ", v, " out of range");
+    return vcs[v];
+}
+
+bool
+VcMemory::deposit(VcId v, const Flit &f)
+{
+    VcState &state = vc(v);
+    if (state.depth() >= perVcDepth) {
+        ++overflows;
+        return false;
+    }
+    state.push(f);
+    ++occupied;
+    flitsAvail.set(v);
+    return true;
+}
+
+unsigned
+VcMemory::freeSlots(VcId v) const
+{
+    const auto d = static_cast<unsigned>(vc(v).depth());
+    return d >= perVcDepth ? 0 : perVcDepth - d;
+}
+
+void
+VcMemory::noteDrained(VcId v)
+{
+    mmr_assert(occupied > 0, "drain with zero occupancy");
+    --occupied;
+    if (vc(v).empty())
+        flitsAvail.clear(v);
+}
+
+} // namespace mmr

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Virtual Channel Memory (§3.2, Figure 2).
+ *
+ * The MMR organizes each input port's virtual channels as a set of
+ * low-order-interleaved RAM modules: each flit is striped across the
+ * banks, flits of one VC occupy adjacent location sets, the write
+ * address comes from the flow-control circuitry and the read address
+ * from the link scheduler.
+ *
+ * This class provides (a) the functional storage — per-VC FIFOs with a
+ * shared capacity pool and per-VC depth limits — and (b) the timing
+ * model used to balance "memory access time, link speed, and crossbar
+ * switching delay": a static analysis of the bandwidth a bank
+ * configuration sustains, exercised by bench_vc_memory.
+ */
+
+#ifndef MMR_ROUTER_VC_MEMORY_HH
+#define MMR_ROUTER_VC_MEMORY_HH
+
+#include <vector>
+
+#include "base/bitvector.hh"
+#include "router/vc_state.hh"
+
+namespace mmr
+{
+
+/** Static timing/bandwidth model of the interleaved buffer memory. */
+struct VcMemoryModel
+{
+    unsigned banks = 8;        ///< number of interleaved RAM modules
+    unsigned wordBits = 32;    ///< router internal datapath width
+    double accessTimeNs = 6.0; ///< RAM module cycle time
+    unsigned portsPerBank = 1; ///< 1 = single-ported (shared r/w)
+
+    /** Words of storage one flit occupies. */
+    unsigned wordsPerFlit(unsigned flit_bits) const;
+
+    /**
+     * Sustainable per-link bandwidth in bits/s: the banks must absorb
+     * one flit write and supply one flit read per flit cycle.
+     */
+    double sustainableRateBps(unsigned flit_bits) const;
+
+    /** Cycles (of accessTimeNs) needed to stream one flit in or out. */
+    double flitAccessNs(unsigned flit_bits) const;
+
+    /** True when the configuration keeps up with the given link. */
+    bool matchesLink(unsigned flit_bits, double link_rate_bps) const;
+
+    /**
+     * Minimum bank count that sustains the link rate, holding the
+     * other parameters fixed.
+     */
+    static unsigned minBanksFor(double link_rate_bps, unsigned flit_bits,
+                                unsigned word_bits, double access_ns,
+                                unsigned ports_per_bank = 1);
+};
+
+/** Functional per-input-port VC buffer pool. */
+class VcMemory
+{
+  public:
+    /**
+     * @param vcs number of virtual channels at this input port
+     * @param per_vc_depth per-VC depth limit in flits
+     */
+    VcMemory(unsigned vcs, unsigned per_vc_depth);
+
+    unsigned numVcs() const { return static_cast<unsigned>(vcs.size()); }
+
+    VcState &vc(VcId v);
+    const VcState &vc(VcId v) const;
+
+    /**
+     * Store an arriving flit into its VC; false (and counted) when the
+     * VC is at its depth limit — upstream flow control should have
+     * prevented this.
+     */
+    bool deposit(VcId v, const Flit &f);
+
+    /** Flits currently buffered across all VCs. */
+    std::size_t occupancy() const { return occupied; }
+
+    /** Rejected deposits (buffer overflow attempts). */
+    std::uint64_t overflowCount() const { return overflows; }
+
+    /** Per-VC free space in flits. */
+    unsigned freeSlots(VcId v) const;
+
+    unsigned depthLimit() const { return perVcDepth; }
+
+    /** Bit vector of VCs with at least one buffered flit. */
+    const BitVector &flitsAvailable() const { return flitsAvail; }
+
+    /** Called by the router when a flit leaves a VC. */
+    void noteDrained(VcId v);
+
+  private:
+    std::vector<VcState> vcs;
+    unsigned perVcDepth;
+    std::size_t occupied = 0;
+    std::uint64_t overflows = 0;
+    BitVector flitsAvail;
+};
+
+} // namespace mmr
+
+#endif // MMR_ROUTER_VC_MEMORY_HH

@@ -1,0 +1,127 @@
+#include "router/vc_state.hh"
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+void
+VcState::release()
+{
+    mmr_assert(fifo.empty(), "releasing VC with ", fifo.size(),
+               " buffered flits");
+    mmr_assert(grantsPending == 0, "releasing VC with pending grants");
+    connId = kInvalidConn;
+    klass = TrafficClass::BestEffort;
+    outputPort = kInvalidPort;
+    outputVc = kInvalidVc;
+    cbrAlloc = vbrPerm = vbrPeak = 0;
+    interArrivalCycles_ = 0.0;
+    priority = 0;
+    servicedThisRound = 0;
+}
+
+void
+VcState::bindCbr(ConnId conn_, unsigned alloc_cycles,
+                 double inter_arrival)
+{
+    mmr_assert(!bound(), "binding an already-bound VC");
+    connId = conn_;
+    klass = TrafficClass::CBR;
+    cbrAlloc = alloc_cycles;
+    interArrivalCycles_ = inter_arrival;
+}
+
+void
+VcState::bindVbr(ConnId conn_, unsigned perm_cycles, unsigned peak_cycles,
+                 double inter_arrival, int user_priority)
+{
+    mmr_assert(!bound(), "binding an already-bound VC");
+    mmr_assert(peak_cycles >= perm_cycles,
+               "VBR peak below permanent bandwidth");
+    connId = conn_;
+    klass = TrafficClass::VBR;
+    vbrPerm = perm_cycles;
+    vbrPeak = peak_cycles;
+    interArrivalCycles_ = inter_arrival;
+    priority = user_priority;
+}
+
+void
+VcState::bindBestEffort(ConnId conn_)
+{
+    mmr_assert(!bound(), "binding an already-bound VC");
+    connId = conn_;
+    klass = TrafficClass::BestEffort;
+}
+
+void
+VcState::bindControl(ConnId conn_)
+{
+    mmr_assert(!bound(), "binding an already-bound VC");
+    connId = conn_;
+    klass = TrafficClass::Control;
+}
+
+Flit
+VcState::pop()
+{
+    mmr_assert(!fifo.empty(), "pop() from empty VC");
+    Flit f = fifo.front();
+    fifo.pop_front();
+    return f;
+}
+
+const Flit &
+VcState::head() const
+{
+    mmr_assert(!fifo.empty(), "head() of empty VC");
+    return fifo.front();
+}
+
+const Flit &
+VcState::ungrantedHead() const
+{
+    mmr_assert(hasUngrantedFlit(), "no ungranted flit in VC");
+    return fifo[grantsPending];
+}
+
+void
+VcState::setMapping(PortId out_port, VcId out_vc)
+{
+    outputPort = out_port;
+    outputVc = out_vc;
+}
+
+void
+VcState::noteGrantApplied()
+{
+    mmr_assert(grantsPending > 0, "applying a grant never issued");
+    --grantsPending;
+}
+
+void
+VcState::setVbrAlloc(unsigned perm, unsigned peak)
+{
+    mmr_assert(peak >= perm, "VBR peak below permanent bandwidth");
+    vbrPerm = perm;
+    vbrPeak = peak;
+}
+
+unsigned
+VcState::quotaThisRound() const
+{
+    switch (klass) {
+      case TrafficClass::CBR:
+        return cbrAlloc;
+      case TrafficClass::VBR:
+        return vbrPeak;
+      case TrafficClass::BestEffort:
+      case TrafficClass::Control:
+        // No reservation: bounded only by the round itself.
+        return ~0u;
+    }
+    return 0;
+}
+
+} // namespace mmr

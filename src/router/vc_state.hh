@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Per-virtual-channel state (§3.2, §4.3).
+ *
+ * "There is also some state information stored with each virtual
+ * channel that is used for scheduling": the connection it belongs to,
+ * its service class, the bandwidth allocated in flit cycles per round
+ * (CBR), the permanent and peak bandwidth (VBR), the dynamic user
+ * priority, and the per-round serviced counter the link scheduler uses
+ * to enforce allocations.  The flit queue itself lives in the
+ * VirtualChannelMemory; this class tracks the logical FIFO.
+ */
+
+#ifndef MMR_ROUTER_VC_STATE_HH
+#define MMR_ROUTER_VC_STATE_HH
+
+#include <deque>
+
+#include "base/types.hh"
+#include "router/flit.hh"
+
+namespace mmr
+{
+
+class VcState
+{
+  public:
+    /** Reset to the unbound (free) state. */
+    void release();
+
+    /** Bind this VC to a connection. */
+    void bindCbr(ConnId conn, unsigned alloc_cycles,
+                 double inter_arrival);
+    void bindVbr(ConnId conn, unsigned perm_cycles, unsigned peak_cycles,
+                 double inter_arrival, int user_priority);
+    void bindBestEffort(ConnId conn);
+    void bindControl(ConnId conn);
+
+    bool bound() const { return connId != kInvalidConn; }
+    ConnId conn() const { return connId; }
+    TrafficClass trafficClass() const { return klass; }
+
+    /** FIFO interface backed by the VC memory. */
+    void push(const Flit &f) { fifo.push_back(f); }
+    Flit pop();
+    const Flit &head() const;
+    bool empty() const { return fifo.empty(); }
+    std::size_t depth() const { return fifo.size(); }
+
+    /** Output mapping set up by the routing and arbitration unit. */
+    void setMapping(PortId out_port, VcId out_vc);
+    PortId outPort() const { return outputPort; }
+    VcId outVc() const { return outputVc; }
+    bool mapped() const { return outputPort != kInvalidPort; }
+
+    /** Round bookkeeping (§4.1). */
+    unsigned serviced() const { return servicedThisRound; }
+    void noteServiced() { ++servicedThisRound; }
+    void newRound() { servicedThisRound = 0; }
+
+    /** Grants issued but not yet applied (pipelined arbitration). */
+    unsigned pendingGrants() const { return grantsPending; }
+    void noteGrantIssued() { ++grantsPending; }
+    void noteGrantApplied();
+
+    /** Flits available beyond those already granted. */
+    bool hasUngrantedFlit() const { return fifo.size() > grantsPending; }
+
+    /** Head flit not yet covered by a pending grant. */
+    const Flit &ungrantedHead() const;
+
+    unsigned allocCycles() const { return cbrAlloc; }
+    unsigned permCycles() const { return vbrPerm; }
+    unsigned peakCycles() const { return vbrPeak; }
+    double interArrival() const { return interArrivalCycles_; }
+    int userPriority() const { return priority; }
+    void setUserPriority(int p) { priority = p; }
+
+    /** Dynamic bandwidth renegotiation (§4.3 control words). */
+    void setCbrAlloc(unsigned cycles) { cbrAlloc = cycles; }
+    void setVbrAlloc(unsigned perm, unsigned peak);
+    void setInterArrival(double cycles) { interArrivalCycles_ = cycles; }
+
+    /** Remaining quota this round given the service class (§4.3). */
+    unsigned quotaThisRound() const;
+
+    /**
+     * Stable arbitration tie-break, drawn once when the VC is bound.
+     * A per-cycle random tie would scramble the service order of
+     * equal-priority channels every cycle and destroy the periodic
+     * service pattern that keeps CBR jitter low; a persistent value
+     * keeps arbitration fair across connections yet stable in time.
+     */
+    double tieBreak() const { return tie; }
+    void setTieBreak(double t) { tie = t; }
+
+  private:
+    ConnId connId = kInvalidConn;
+    TrafficClass klass = TrafficClass::BestEffort;
+    std::deque<Flit> fifo;
+
+    PortId outputPort = kInvalidPort;
+    VcId outputVc = kInvalidVc;
+
+    unsigned cbrAlloc = 0;   ///< CBR flit cycles/round
+    unsigned vbrPerm = 0;    ///< VBR permanent cycles/round
+    unsigned vbrPeak = 0;    ///< VBR peak cycles/round
+    double interArrivalCycles_ = 0.0;
+    int priority = 0;        ///< VBR user priority (dynamic)
+
+    unsigned servicedThisRound = 0;
+    unsigned grantsPending = 0;
+    double tie = 0.0;
+};
+
+} // namespace mmr
+
+#endif // MMR_ROUTER_VC_STATE_HH

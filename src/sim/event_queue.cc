@@ -1,0 +1,63 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+EventQueue::EventId
+EventQueue::schedule(Cycle when, Callback fn)
+{
+    const EventId id = nextId++;
+    heap.push(Entry{when, id, std::move(fn)});
+    ++live;
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (id >= nextId)
+        return;
+    if (!isCancelled(id)) {
+        cancelled.push_back(id);
+        if (live > 0)
+            --live;
+    }
+}
+
+Cycle
+EventQueue::nextCycle() const
+{
+    mmr_assert(!empty(), "nextCycle() on empty event queue");
+    // The heap top may be a cancelled entry; callers use nextCycle()
+    // only as a hint, so report the raw top.
+    return heap.top().when;
+}
+
+void
+EventQueue::runUntil(Cycle now)
+{
+    while (!heap.empty() && heap.top().when <= now) {
+        Entry e = heap.top();
+        heap.pop();
+        if (isCancelled(e.id)) {
+            cancelled.erase(
+                std::find(cancelled.begin(), cancelled.end(), e.id));
+            continue;
+        }
+        --live;
+        e.fn();
+    }
+}
+
+bool
+EventQueue::isCancelled(EventId id) const
+{
+    return std::find(cancelled.begin(), cancelled.end(), id) !=
+           cancelled.end();
+}
+
+} // namespace mmr

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Discrete-event queue for network-level timers.
+ *
+ * The router core advances strictly cycle by cycle, but some network
+ * machinery is naturally event-driven: probe timeouts, connection
+ * teardown timers, source start/stop events.  This queue schedules
+ * callbacks at absolute cycles with a stable FIFO order for events at
+ * the same cycle (insertion order breaks ties), which keeps runs
+ * deterministic.
+ */
+
+#ifndef MMR_SIM_EVENT_QUEUE_HH
+#define MMR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mmr
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+    using EventId = std::uint64_t;
+
+    /** Schedule @p fn at absolute cycle @p when. Returns a handle. */
+    EventId schedule(Cycle when, Callback fn);
+
+    /** Cancel a pending event; no-op when already fired or cancelled. */
+    void cancel(EventId id);
+
+    /** Cycle of the earliest pending event. */
+    bool empty() const { return live == 0; }
+    Cycle nextCycle() const;
+
+    /** Run every event scheduled at or before @p now. */
+    void runUntil(Cycle now);
+
+    std::size_t pendingCount() const { return live; }
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        EventId id;
+        Callback fn;
+        bool operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::vector<EventId> cancelled;
+    EventId nextId = 0;
+    std::size_t live = 0;
+
+    bool isCancelled(EventId id) const;
+};
+
+} // namespace mmr
+
+#endif // MMR_SIM_EVENT_QUEUE_HH

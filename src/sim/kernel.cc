@@ -1,0 +1,33 @@
+#include "sim/kernel.hh"
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+void
+Kernel::add(Clocked *c, std::string name)
+{
+    mmr_assert(c != nullptr, "cannot register a null component");
+    components.push_back(Item{c, std::move(name)});
+}
+
+void
+Kernel::step()
+{
+    queue.runUntil(currentCycle);
+    for (auto &item : components)
+        item.component->evaluate(currentCycle);
+    for (auto &item : components)
+        item.component->advance(currentCycle);
+    ++currentCycle;
+}
+
+void
+Kernel::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        step();
+}
+
+} // namespace mmr

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cycle-driven simulation kernel.
+ *
+ * Everything in the router operates in lock-step flit cycles (§3.4):
+ * during one flit cycle the switch transmits the flits chosen in the
+ * previous cycle while schedulers concurrently compute the next
+ * matching, then the switch reconfigures.  The kernel captures that as
+ * a two-phase tick: evaluate() (combinational work that reads current
+ * state) followed by advance() (state commit), run over all registered
+ * components each cycle.  The two-phase split lets components observe
+ * a consistent snapshot regardless of registration order.
+ */
+
+#ifndef MMR_SIM_KERNEL_HH
+#define MMR_SIM_KERNEL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/event_queue.hh"
+
+namespace mmr
+{
+
+/** Interface for anything ticked by the kernel. */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Phase 1: compute, reading this-cycle state. */
+    virtual void evaluate(Cycle now) = 0;
+
+    /** Phase 2: commit state for the next cycle. */
+    virtual void advance(Cycle now) = 0;
+};
+
+class Kernel
+{
+  public:
+    /** Register a component; not owned. Order is evaluation order. */
+    void add(Clocked *c, std::string name = {});
+
+    /** Run @p cycles flit cycles. */
+    void run(Cycle cycles);
+
+    /** Run a single flit cycle. */
+    void step();
+
+    Cycle now() const { return currentCycle; }
+
+    EventQueue &events() { return queue; }
+
+    std::size_t componentCount() const { return components.size(); }
+
+  private:
+    struct Item
+    {
+        Clocked *component;
+        std::string name;
+    };
+
+    std::vector<Item> components;
+    EventQueue queue;
+    Cycle currentCycle = 0;
+};
+
+} // namespace mmr
+
+#endif // MMR_SIM_KERNEL_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Best-effort datagram sources (§2, §3.4).
+ *
+ * Two arrival processes are provided: a Poisson source (classical
+ * best-effort background) and a two-state Markov-modulated on/off
+ * source for bursty traffic.  Packet size equals flit size (§3.4), so
+ * one arrival is one flit.  A short-message control source reuses the
+ * Poisson process at a low rate.
+ */
+
+#ifndef MMR_TRAFFIC_BESTEFFORT_SOURCE_HH
+#define MMR_TRAFFIC_BESTEFFORT_SOURCE_HH
+
+#include "base/rng.hh"
+#include "traffic/source.hh"
+
+namespace mmr
+{
+
+/** Poisson flit arrivals at a given mean rate. */
+class PoissonSource : public TrafficSource
+{
+  public:
+    PoissonSource(double rate_bps, double link_rate_bps, Rng &rng,
+                  TrafficClass cls = TrafficClass::BestEffort);
+
+    unsigned arrivals(Cycle now) override;
+    double meanRateBps() const override { return rateBps; }
+    TrafficClass trafficClass() const override { return klass; }
+
+  private:
+    double rateBps;
+    double meanGap;      ///< mean inter-arrival in flit cycles
+    double nextArrival;
+    Rng *rng;
+    TrafficClass klass;
+};
+
+/**
+ * On/off bursty source: exponentially distributed on and off periods;
+ * while on, emits at the burst (peak) rate.
+ */
+class OnOffSource : public TrafficSource
+{
+  public:
+    /**
+     * @param mean_rate_bps long-run average rate
+     * @param burst_rate_bps emission rate while in the on state
+     * @param mean_burst_cycles average duration of an on period
+     */
+    OnOffSource(double mean_rate_bps, double burst_rate_bps,
+                double mean_burst_cycles, double link_rate_bps, Rng &rng);
+
+    unsigned arrivals(Cycle now) override;
+    double meanRateBps() const override { return meanRate; }
+    double peakRateBps() const override { return burstRate; }
+    TrafficClass trafficClass() const override
+    {
+        return TrafficClass::BestEffort;
+    }
+
+  private:
+    double meanRate;
+    double burstRate;
+    double meanOn;
+    double meanOff;
+    double emitPeriod;   ///< cycles between flits while on
+    bool on = false;
+    double stateEnd = 0; ///< cycle the current on/off period ends
+    double nextEmit = 0;
+    Rng *rng;
+};
+
+} // namespace mmr
+
+#endif // MMR_TRAFFIC_BESTEFFORT_SOURCE_HH

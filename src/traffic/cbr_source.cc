@@ -1,0 +1,31 @@
+#include "traffic/cbr_source.hh"
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+CbrSource::CbrSource(double rate_bps, double link_rate_bps, Rng &rng)
+    : rateBps(rate_bps),
+      period(interArrivalCycles(rate_bps, link_rate_bps)),
+      nextArrival(0.0)
+{
+    mmr_assert(period >= 1.0,
+               "CBR rate exceeds link rate: no feasible inter-arrival");
+    // Random phase decorrelates connections sharing a router.
+    nextArrival = rng.uniform() * period;
+}
+
+unsigned
+CbrSource::arrivals(Cycle now)
+{
+    unsigned n = 0;
+    const double t = static_cast<double>(now);
+    while (nextArrival <= t) {
+        ++n;
+        nextArrival += period;
+    }
+    return n;
+}
+
+} // namespace mmr

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Constant bit rate source (§2, §5).
+ *
+ * Emits one flit every R/r flit cycles with a fixed random phase, so
+ * admission control can rely on a constant inter-arrival time.  The
+ * accumulator is exact: over n cycles the source emits
+ * floor((n + phase)/T) flits, with no long-run drift.
+ */
+
+#ifndef MMR_TRAFFIC_CBR_SOURCE_HH
+#define MMR_TRAFFIC_CBR_SOURCE_HH
+
+#include "base/rng.hh"
+#include "traffic/source.hh"
+
+namespace mmr
+{
+
+class CbrSource : public TrafficSource
+{
+  public:
+    /**
+     * @param rate_bps connection rate
+     * @param link_rate_bps physical link rate (defines the flit cycle)
+     * @param rng used once, to draw the starting phase
+     */
+    CbrSource(double rate_bps, double link_rate_bps, Rng &rng);
+
+    unsigned arrivals(Cycle now) override;
+    double meanRateBps() const override { return rateBps; }
+    TrafficClass trafficClass() const override
+    {
+        return TrafficClass::CBR;
+    }
+
+    /** Inter-arrival time in flit cycles (the biased-priority basis). */
+    double interArrival() const { return period; }
+
+  private:
+    double rateBps;
+    double period;     ///< flit cycles between arrivals
+    double nextArrival; ///< cycle at which the next flit is due
+};
+
+} // namespace mmr
+
+#endif // MMR_TRAFFIC_CBR_SOURCE_HH

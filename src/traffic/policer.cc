@@ -1,0 +1,42 @@
+#include "traffic/policer.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+LeakyBucketPolicer::LeakyBucketPolicer(double tokens_per_cycle,
+                                       double depth)
+    : fillRate(tokens_per_cycle), maxDepth(depth), tokens(depth)
+{
+    mmr_assert(fillRate > 0.0, "policer fill rate must be positive");
+    mmr_assert(maxDepth >= 1.0, "policer depth must allow one flit");
+}
+
+void
+LeakyBucketPolicer::advanceTo(Cycle now)
+{
+    mmr_assert(now >= lastUpdate, "policer time moved backwards");
+    tokens = std::min(maxDepth,
+                      tokens + fillRate *
+                                   static_cast<double>(now - lastUpdate));
+    lastUpdate = now;
+}
+
+void
+LeakyBucketPolicer::consume()
+{
+    mmr_assert(conforming(), "consuming a token that is not there");
+    tokens -= 1.0;
+}
+
+void
+LeakyBucketPolicer::setRate(double tokens_per_cycle)
+{
+    mmr_assert(tokens_per_cycle > 0.0, "policer rate must be positive");
+    fillRate = tokens_per_cycle;
+}
+
+} // namespace mmr

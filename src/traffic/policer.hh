@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Leaky-bucket policing (§4.2).
+ *
+ * "During data transmission, a policing protocol operates by limiting
+ * the injection of new flits into the network in such a way that each
+ * connection does not use higher link bandwidth than that allocated to
+ * it."  The bucket fills with one token every 1/rate flit cycles up to
+ * a burst depth; a flit may inject when a full token is available.
+ */
+
+#ifndef MMR_TRAFFIC_POLICER_HH
+#define MMR_TRAFFIC_POLICER_HH
+
+#include "base/types.hh"
+
+namespace mmr
+{
+
+class LeakyBucketPolicer
+{
+  public:
+    /**
+     * @param tokens_per_cycle fill rate (allocated rate / link rate)
+     * @param depth maximum accumulated tokens (burst tolerance)
+     */
+    LeakyBucketPolicer(double tokens_per_cycle, double depth);
+
+    /** Advance the bucket to cycle @p now. */
+    void advanceTo(Cycle now);
+
+    /** True when a flit may be injected right now. */
+    bool conforming() const { return tokens >= 1.0; }
+
+    /** Consume one token for an injected flit. */
+    void consume();
+
+    double tokenLevel() const { return tokens; }
+
+    /** Change the fill rate (dynamic bandwidth renegotiation, §4.3). */
+    void setRate(double tokens_per_cycle);
+    double rate() const { return fillRate; }
+
+  private:
+    double fillRate;
+    double maxDepth;
+    double tokens;
+    Cycle lastUpdate = 0;
+};
+
+} // namespace mmr
+
+#endif // MMR_TRAFFIC_POLICER_HH

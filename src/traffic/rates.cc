@@ -1,0 +1,59 @@
+#include "traffic/rates.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+std::string
+to_string(TrafficClass c)
+{
+    switch (c) {
+      case TrafficClass::CBR:
+        return "CBR";
+      case TrafficClass::VBR:
+        return "VBR";
+      case TrafficClass::BestEffort:
+        return "best-effort";
+      case TrafficClass::Control:
+        return "control";
+    }
+    return "?";
+}
+
+const std::vector<double> &
+paperRateLadder()
+{
+    static const std::vector<double> ladder = {
+        64 * kKbps,  128 * kKbps, 1.54 * kMbps, 2 * kMbps,  5 * kMbps,
+        10 * kMbps,  20 * kMbps,  55 * kMbps,   120 * kMbps,
+    };
+    return ladder;
+}
+
+unsigned
+cyclesPerRound(double rate_bps, double link_rate_bps,
+               unsigned cycles_per_round)
+{
+    mmr_assert(rate_bps > 0.0 && link_rate_bps > 0.0,
+               "rates must be positive");
+    mmr_assert(rate_bps <= link_rate_bps,
+               "connection rate exceeds link rate");
+    const double fraction = rate_bps / link_rate_bps;
+    const double cycles =
+        std::ceil(fraction * static_cast<double>(cycles_per_round));
+    return static_cast<unsigned>(cycles);
+}
+
+double
+grantedRate(unsigned cycles, double link_rate_bps,
+            unsigned cycles_per_round)
+{
+    mmr_assert(cycles_per_round > 0, "round length must be positive");
+    return link_rate_bps * static_cast<double>(cycles) /
+           static_cast<double>(cycles_per_round);
+}
+
+} // namespace mmr

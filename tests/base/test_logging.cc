@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the error/status reporting discipline (gem5-style):
+ * panic aborts (internal bug), fatal throws a catchable user error,
+ * warn counts, and the assertion macro formats its message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsWithComposedMessage)
+{
+    try {
+        mmr_fatal("bad value ", 42, " for ", "knob");
+        FAIL() << "fatal must not return";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bad value 42 for knob"),
+                  std::string::npos);
+        EXPECT_NE(what.find("fatal:"), std::string::npos);
+        EXPECT_NE(what.find("test_logging.cc"), std::string::npos)
+            << "the source location helps users report problems";
+    }
+}
+
+TEST(Logging, WarnIncrementsTheCounter)
+{
+    const unsigned before = warnCount();
+    mmr_warn("something looks off: ", 3.14);
+    mmr_warn("again");
+    EXPECT_EQ(warnCount(), before + 2);
+}
+
+TEST(Logging, InformIsSideEffectFree)
+{
+    const unsigned before = warnCount();
+    mmr_inform("status message ", 7);
+    EXPECT_EQ(warnCount(), before);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(mmr_panic("invariant ", "broken"), "invariant broken");
+}
+
+TEST(LoggingDeath, AssertFormatsConditionAndMessage)
+{
+    const int x = 3;
+    EXPECT_DEATH(mmr_assert(x == 4, "x was ", x),
+                 "assertion 'x == 4' failed: x was 3");
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    mmr_assert(1 + 1 == 2, "arithmetic holds");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace mmr

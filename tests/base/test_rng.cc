@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and its distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "base/rng.hh"
+
+namespace mmr
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    unsigned same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3u);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(77);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.seed(77);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(5);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(6);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(3.0, 7.0);
+        ASSERT_GE(u, 3.0);
+        ASSERT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, BelowStaysInBound)
+{
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 3000; ++i) {
+        const auto v = r.below(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u) << "all residues should appear";
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng r(8);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = r.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(10);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(42.0);
+    EXPECT_NEAR(sum / n, 42.0, 0.5);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(12);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal(10.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMean)
+{
+    Rng r(13);
+    // E[X] = exp(mu + sigma^2/2).
+    const double mu = 1.0, sigma = 0.5;
+    double sum = 0.0;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i)
+        sum += r.lognormal(mu, sigma);
+    EXPECT_NEAR(sum / n, std::exp(mu + sigma * sigma / 2.0), 0.05);
+}
+
+TEST(Rng, PickCoversVector)
+{
+    Rng r(14);
+    const std::vector<int> v{1, 2, 3};
+    std::set<int> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(r.pick(v));
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng r(15);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    auto w = v;
+    r.shuffle(w);
+    auto sorted = w;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ShuffleActuallyShuffles)
+{
+    Rng r(16);
+    std::vector<int> v(50);
+    for (int i = 0; i < 50; ++i)
+        v[i] = i;
+    auto w = v;
+    r.shuffle(w);
+    EXPECT_NE(w, v);
+}
+
+} // namespace
+} // namespace mmr

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fast regression guards for the paper's qualitative results (§5.2).
+ * The bench binaries regenerate the full figures; these tests pin the
+ * same *shapes* at reduced scale so a scheduling regression fails CI
+ * in seconds.  Everything here is deterministic (fixed seeds), so the
+ * assertions are exact reruns, not statistical gambles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/single_router.hh"
+
+namespace mmr
+{
+namespace
+{
+
+ExperimentResult
+run(SchedulerKind kind, unsigned candidates, double load)
+{
+    ExperimentConfig cfg;
+    cfg.router.scheduler = kind;
+    cfg.router.candidates = candidates;
+    cfg.offeredLoad = load;
+    cfg.warmupCycles = 5000;
+    cfg.measureCycles = 30000;
+    cfg.seed = 42;
+    return runSingleRouter(cfg);
+}
+
+TEST(PaperShapes, BiasedBeatsFixedNearSaturation)
+{
+    // Figure 4's central claim at 80% load, 8 candidates.
+    const auto biased = run(SchedulerKind::BiasedPriority, 8, 0.8);
+    const auto fixed = run(SchedulerKind::FixedPriority, 8, 0.8);
+    EXPECT_LT(biased.meanDelayUs, fixed.meanDelayUs);
+    EXPECT_LT(biased.meanJitterCycles, fixed.meanJitterCycles);
+    EXPECT_LT(biased.meanDelayUs, 1.0)
+        << "8C biased stays sub-microsecond (paper: 0.4-0.6 us)";
+}
+
+TEST(PaperShapes, PerfectSwitchLowerBoundsEveryScheme)
+{
+    const auto perfect = run(SchedulerKind::Perfect, 8, 0.8);
+    for (SchedulerKind kind :
+         {SchedulerKind::BiasedPriority, SchedulerKind::FixedPriority,
+          SchedulerKind::Autonet, SchedulerKind::Islip,
+          SchedulerKind::OutputDriven}) {
+        const auto r = run(kind, 8, 0.8);
+        EXPECT_LE(perfect.meanDelayCycles,
+                  r.meanDelayCycles + 1e-9)
+            << to_string(kind);
+    }
+}
+
+TEST(PaperShapes, BiasedTracksPerfectClosely)
+{
+    // Figure 5: "closely tracking the performance of the perfect
+    // switch" with 8 candidates.
+    const auto biased = run(SchedulerKind::BiasedPriority, 8, 0.9);
+    const auto perfect = run(SchedulerKind::Perfect, 8, 0.9);
+    EXPECT_LT(biased.meanDelayUs, 3.0 * perfect.meanDelayUs);
+}
+
+TEST(PaperShapes, MoreCandidatesNeverHurtThroughput)
+{
+    // §5.2 claim C1 at 90% load.
+    double prev_util = 0.0;
+    for (unsigned c : {1u, 2u, 4u, 8u}) {
+        const auto r = run(SchedulerKind::BiasedPriority, c, 0.9);
+        EXPECT_GE(r.utilization + 0.02, prev_util)
+            << c << " candidates";
+        prev_util = r.utilization;
+    }
+}
+
+TEST(PaperShapes, OneCandidateSaturatesEarly)
+{
+    // The clipped 1C curves of Figures 3/4: a single candidate cannot
+    // carry 90% load (single-iteration matching bound ~63%).
+    const auto r = run(SchedulerKind::BiasedPriority, 1, 0.9);
+    EXPECT_LT(r.utilization, 0.8);
+    const auto r8 = run(SchedulerKind::BiasedPriority, 8, 0.9);
+    EXPECT_GT(r8.utilization, 0.85);
+}
+
+TEST(PaperShapes, AutonetIsNotQosAware)
+{
+    // Figure 5: the DEC scheduler, lacking QoS-weighted arbitration,
+    // sits well above the biased scheme near saturation.
+    const auto autonet = run(SchedulerKind::Autonet, 8, 0.9);
+    const auto biased = run(SchedulerKind::BiasedPriority, 8, 0.9);
+    EXPECT_GT(autonet.meanDelayUs, 2.0 * biased.meanDelayUs);
+}
+
+TEST(PaperShapes, HybridTrafficProtectsGuaranteedClasses)
+{
+    // §3.4: streams keep their QoS while best effort absorbs
+    // congestion.
+    ExperimentConfig cfg;
+    cfg.router.candidates = 8;
+    cfg.offeredLoad = 0.9;
+    cfg.warmupCycles = 5000;
+    cfg.measureCycles = 30000;
+    cfg.seed = 42;
+    cfg.mix.cbrShare = 0.5;
+    cfg.mix.vbrShare = 0.25;
+    cfg.mix.beShare = 0.25;
+    cfg.mix.vbrProfile.framesPerSecond = 500.0;
+    const ExperimentResult r = runSingleRouter(cfg);
+    EXPECT_LT(r.cbr.delayCycles.mean(), r.vbr.delayCycles.mean());
+    EXPECT_LT(r.vbr.delayCycles.mean(),
+              r.bestEffort.delayCycles.mean());
+    EXPECT_LT(r.cbr.delayCycles.mean(), 10.0)
+        << "CBR stays near the contention-free floor";
+}
+
+} // namespace
+} // namespace mmr

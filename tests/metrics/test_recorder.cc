@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the §5 measurement definitions: delay, jitter as the
+ * difference in delays of successive flits, utilization, and the
+ * warm-up gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/recorder.hh"
+
+namespace mmr
+{
+namespace
+{
+
+TEST(ConnectionRecorder, DelayAndJitterDefinitions)
+{
+    ConnectionRecorder rec;
+    rec.record(4.0, true);
+    rec.record(6.0, true);  // jitter |6-4| = 2
+    rec.record(3.0, true);  // jitter |3-6| = 3
+    EXPECT_EQ(rec.flitCount(), 3u);
+    EXPECT_EQ(rec.delay().count(), 3u);
+    EXPECT_NEAR(rec.delay().mean(), 13.0 / 3.0, 1e-12);
+    EXPECT_EQ(rec.jitter().count(), 2u);
+    EXPECT_DOUBLE_EQ(rec.jitter().mean(), 2.5);
+}
+
+TEST(ConnectionRecorder, WarmupSeedsJitterReference)
+{
+    ConnectionRecorder rec;
+    rec.record(10.0, false); // warm-up flit: not measured...
+    rec.record(12.0, true);  // ...but its delay seeds the jitter pair
+    EXPECT_EQ(rec.delay().count(), 1u);
+    EXPECT_EQ(rec.jitter().count(), 1u);
+    EXPECT_DOUBLE_EQ(rec.jitter().mean(), 2.0);
+}
+
+TEST(MetricsRecorder, GatesOnMeasurementStart)
+{
+    MetricsRecorder m;
+    m.startMeasurement(100);
+    EXPECT_FALSE(m.measuring(99));
+    EXPECT_TRUE(m.measuring(100));
+    m.recordDeparture(1, 50, 5.0);
+    EXPECT_EQ(m.measuredFlits(), 0u);
+    m.recordDeparture(1, 150, 7.0);
+    EXPECT_EQ(m.measuredFlits(), 1u);
+    EXPECT_DOUBLE_EQ(m.meanDelayCycles(), 7.0);
+}
+
+TEST(MetricsRecorder, AggregatesAcrossConnections)
+{
+    MetricsRecorder m;
+    m.startMeasurement(0);
+    m.recordDeparture(1, 1, 2.0);
+    m.recordDeparture(2, 1, 6.0);
+    m.recordDeparture(1, 2, 4.0); // conn 1 jitter 2
+    m.recordDeparture(2, 2, 6.0); // conn 2 jitter 0
+    EXPECT_DOUBLE_EQ(m.meanDelayCycles(), 4.5);
+    EXPECT_DOUBLE_EQ(m.meanJitterCycles(), 1.0);
+    EXPECT_EQ(m.measuredFlits(), 4u);
+    EXPECT_EQ(m.connections().size(), 2u);
+    ASSERT_NE(m.connection(1), nullptr);
+    EXPECT_EQ(m.connection(1)->flitCount(), 2u);
+    EXPECT_EQ(m.connection(99), nullptr);
+}
+
+TEST(MetricsRecorder, UtilizationFromSlots)
+{
+    MetricsRecorder m;
+    m.startMeasurement(0);
+    m.recordOutputSlot(true, 0);
+    m.recordOutputSlot(false, 0);
+    EXPECT_DOUBLE_EQ(m.switchUtilization(), 0.5);
+    m.recordOutputSlots(3, 4, 1);
+    // hits 1+3 = 4, chances 2+4 = 6.
+    EXPECT_NEAR(m.switchUtilization(), 4.0 / 6.0, 1e-12);
+    // Pre-measurement slots are ignored.
+    MetricsRecorder gated;
+    gated.startMeasurement(10);
+    gated.recordOutputSlot(true, 5);
+    EXPECT_DOUBLE_EQ(gated.switchUtilization(), 0.0);
+}
+
+TEST(MetricsRecorder, DelayPercentiles)
+{
+    MetricsRecorder m;
+    m.startMeasurement(0);
+    for (int i = 1; i <= 100; ++i)
+        m.recordDeparture(1, 1, static_cast<double>(i));
+    EXPECT_NEAR(m.delayPercentile(50), 50.0, 1.5);
+    EXPECT_NEAR(m.delayPercentile(99), 99.0, 1.5);
+}
+
+} // namespace
+} // namespace mmr

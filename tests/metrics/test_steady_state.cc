@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the steady-state detector (§5 methodology) and its use by
+ * the experiment harness for automatic warm-up sizing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/single_router.hh"
+#include "metrics/steady_state.hh"
+
+namespace mmr
+{
+namespace
+{
+
+TEST(SteadyState, DeclaresAfterConsecutiveAgreement)
+{
+    SteadyStateDetector det(1000, 0.10, 3);
+    // Ramp-up: large jumps keep it unsteady.
+    det.addWindow(10.0);
+    det.addWindow(20.0);
+    det.addWindow(35.0);
+    EXPECT_FALSE(det.steady());
+    // Plateau: three agreeing transitions declare steadiness.
+    det.addWindow(36.0);
+    det.addWindow(36.5);
+    EXPECT_FALSE(det.steady());
+    det.addWindow(36.2);
+    EXPECT_TRUE(det.steady());
+    EXPECT_EQ(det.steadyAtWindow(), 5u);
+    EXPECT_EQ(det.steadyAtCycle(), 6000u);
+}
+
+TEST(SteadyState, DisagreementResetsTheStreak)
+{
+    SteadyStateDetector det(100, 0.05, 2);
+    det.addWindow(10.0);
+    det.addWindow(10.1); // agree (1)
+    det.addWindow(20.0); // jump: reset
+    det.addWindow(20.1); // agree (1)
+    EXPECT_FALSE(det.steady());
+    det.addWindow(20.0); // agree (2)
+    EXPECT_TRUE(det.steady());
+}
+
+TEST(SteadyState, HandlesZeroesGracefully)
+{
+    SteadyStateDetector det(100, 0.10, 2);
+    det.addWindow(0.0);
+    det.addWindow(0.0);
+    det.addWindow(0.0);
+    EXPECT_TRUE(det.steady()) << "an idle system is trivially steady";
+}
+
+TEST(SteadyState, StaysSteadyOnceDeclared)
+{
+    SteadyStateDetector det(100, 0.10, 1);
+    det.addWindow(5.0);
+    det.addWindow(5.1);
+    ASSERT_TRUE(det.steady());
+    const auto at = det.steadyAtWindow();
+    det.addWindow(500.0); // later turbulence does not un-declare
+    EXPECT_TRUE(det.steady());
+    EXPECT_EQ(det.steadyAtWindow(), at);
+}
+
+TEST(SteadyStateHarness, AutoWarmupProducesSaneResults)
+{
+    ExperimentConfig cfg;
+    cfg.router.numPorts = 4;
+    cfg.router.vcsPerPort = 32;
+    cfg.offeredLoad = 0.6;
+    cfg.autoWarmup = true;
+    cfg.warmupWindow = 1000;
+    cfg.maxWarmupCycles = 50000;
+    cfg.measureCycles = 10000;
+    cfg.seed = 3;
+    const ExperimentResult r = runSingleRouter(cfg);
+    EXPECT_GT(r.warmupUsed, 0u);
+    EXPECT_LE(r.warmupUsed, 50000u);
+    EXPECT_LT(r.warmupUsed, 50000u)
+        << "a 60% load settles well before the cap";
+    EXPECT_GT(r.flitsDelivered, 0u);
+    EXPECT_NEAR(r.utilization, r.achievedLoad, 0.06);
+}
+
+TEST(SteadyStateHarness, FixedWarmupStillWorks)
+{
+    ExperimentConfig cfg;
+    cfg.router.numPorts = 4;
+    cfg.router.vcsPerPort = 32;
+    cfg.offeredLoad = 0.5;
+    cfg.warmupCycles = 3000;
+    cfg.measureCycles = 5000;
+    const ExperimentResult r = runSingleRouter(cfg);
+    EXPECT_EQ(r.warmupUsed, 3000u);
+}
+
+} // namespace
+} // namespace mmr

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Fault-injection tests: link failures must lose only the flits on
+ * the dead wire, tear the affected connections down cleanly (all
+ * admission and VC state released), reroute datagrams over the
+ * surviving up*-down* structure, keep probes away from dead links,
+ * and let interfaces re-establish their streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "network/interface.hh"
+#include "network/network.hh"
+#include "sim/kernel.hh"
+
+namespace mmr
+{
+namespace
+{
+
+NetworkConfig
+cfg()
+{
+    NetworkConfig c;
+    c.router.vcsPerPort = 16;
+    c.router.candidates = 4;
+    c.seed = 23;
+    return c;
+}
+
+class FailureTest : public ::testing::Test
+{
+  protected:
+    void
+    build(const Topology &t)
+    {
+        net = std::make_unique<Network>(t, cfg());
+        kernel.add(net.get());
+    }
+
+    std::unique_ptr<Network> net;
+    Kernel kernel;
+};
+
+TEST_F(FailureTest, FailLinkValidation)
+{
+    build(Topology::ring(4));
+    EXPECT_FALSE(net->failLink(0, 2)) << "not adjacent";
+    EXPECT_TRUE(net->failLink(0, 1));
+    EXPECT_FALSE(net->failLink(0, 1)) << "already down";
+    EXPECT_FALSE(net->linkIsUp(0, 1));
+    EXPECT_FALSE(net->linkIsUp(1, 0));
+    EXPECT_TRUE(net->linkIsUp(1, 2));
+    EXPECT_TRUE(net->repairLink(0, 1));
+    EXPECT_TRUE(net->linkIsUp(0, 1));
+    EXPECT_FALSE(net->repairLink(0, 1)) << "already up";
+}
+
+TEST_F(FailureTest, ConnectionsCrossingTheLinkFail)
+{
+    build(Topology::ring(4));
+    const auto o = net->openCbr(0, 1, 10 * kMbps);
+    ASSERT_TRUE(o.accepted);
+    const auto other = net->openCbr(2, 3, 10 * kMbps);
+    ASSERT_TRUE(other.accepted);
+
+    ASSERT_TRUE(net->failLink(0, 1));
+    EXPECT_EQ(net->connectionState(o.id), Network::ConnState::Failed);
+    EXPECT_EQ(net->connectionState(other.id), Network::ConnState::Open)
+        << "connections elsewhere are untouched";
+    EXPECT_EQ(net->connectionsFailed(), 1u);
+    EXPECT_FALSE(net->inject(o.id, Flit{}, kernel.now()))
+        << "a failed connection refuses new flits";
+
+    // The failed connection drains away completely.
+    kernel.run(50);
+    EXPECT_EQ(net->connectionState(o.id), Network::ConnState::Gone);
+    // Its resources on the surviving side are released.
+    MmrRouter &r0 = net->routerAt(0);
+    const Topology &t = net->topology();
+    EXPECT_EQ(r0.admission().allocatedCycles(t.portTowards(0, 1)), 0u);
+    EXPECT_EQ(r0.routing().freeOutputVcCount(t.portTowards(0, 1)), 16u);
+}
+
+TEST_F(FailureTest, InFlightFlitsAreLostNotWedged)
+{
+    build(Topology::ring(4));
+    const auto o = net->openCbr(0, 1, 1.0 * kGbps);
+    ASSERT_TRUE(o.accepted);
+    // Fill the pipe, then cut the wire mid-stream.
+    for (int i = 0; i < 6; ++i) {
+        Flit f;
+        f.seq = static_cast<std::uint32_t>(i);
+        net->inject(o.id, f, kernel.now());
+        kernel.step();
+    }
+    const auto delivered_before = net->flitsDelivered();
+    ASSERT_TRUE(net->failLink(0, 1));
+    kernel.run(100);
+    EXPECT_GT(net->flitsLostToFailures(), 0u);
+    // Whatever was not lost was delivered; nothing is stuck.
+    EXPECT_EQ(net->connectionState(o.id), Network::ConnState::Gone);
+    EXPECT_GE(net->flitsDelivered(), delivered_before);
+}
+
+TEST_F(FailureTest, DatagramsRerouteAroundTheFailure)
+{
+    build(Topology::ring(5));
+    ASSERT_TRUE(net->failLink(0, 1));
+    // 0 -> 1 must now go the long way round; it still arrives.
+    net->sendDatagram(0, 1, TrafficClass::BestEffort, 0x11, kernel.now());
+    kernel.run(200);
+    EXPECT_EQ(net->datagramsDelivered(), 1u);
+    EXPECT_EQ(net->datagramDrops(), 0u);
+    const auto *rec = net->endToEnd().connection(0x11);
+    ASSERT_NE(rec, nullptr);
+    // 4 hops x (switch + link) instead of 1: visibly longer.
+    EXPECT_GE(rec->delay().min(), 8.0);
+}
+
+TEST_F(FailureTest, PartitionDropsUnroutableDatagrams)
+{
+    Topology line(3);
+    line.addLink(0, 1);
+    line.addLink(1, 2);
+    build(line);
+    ASSERT_TRUE(net->failLink(1, 2));
+    net->sendDatagram(0, 2, TrafficClass::BestEffort, 0x12, kernel.now());
+    kernel.run(100);
+    EXPECT_EQ(net->datagramsDelivered(), 0u);
+    EXPECT_EQ(net->datagramDrops(), 1u) << "no route: counted drop";
+    // Repair restores connectivity for subsequent traffic.
+    ASSERT_TRUE(net->repairLink(1, 2));
+    net->sendDatagram(0, 2, TrafficClass::BestEffort, 0x13, kernel.now());
+    kernel.run(100);
+    EXPECT_EQ(net->datagramsDelivered(), 1u);
+}
+
+TEST_F(FailureTest, NewSetupsAvoidDeadLinks)
+{
+    build(Topology::ring(4));
+    ASSERT_TRUE(net->failLink(0, 1));
+    // Algorithmic setup: the minimal path over the dead link is gone;
+    // the long way round (0-3-2-1) is now the only minimal surviving
+    // path.
+    const auto o = net->openCbr(0, 1, 10 * kMbps);
+    ASSERT_TRUE(o.accepted);
+    const auto path = net->connectionPath(o.id);
+    ASSERT_EQ(path.size(), 4u); // 0, 3, 2, 1
+    EXPECT_EQ(path[1], 3u);
+
+    // Timed probe: same avoidance.
+    const auto token = net->openCbrTimed(0, 1, 10 * kMbps, kernel.now());
+    kernel.run(200);
+    const auto *r = net->timedResult(token);
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(r->accepted);
+    EXPECT_EQ(r->pathLength, 4u);
+}
+
+TEST_F(FailureTest, SetupRefusedAcrossAPartition)
+{
+    Topology line(2);
+    line.addLink(0, 1);
+    build(line);
+    ASSERT_TRUE(net->failLink(0, 1));
+    EXPECT_FALSE(net->openCbr(0, 1, 10 * kMbps).accepted);
+    const auto token = net->openCbrTimed(0, 1, 10 * kMbps, kernel.now());
+    kernel.run(50);
+    const auto *r = net->timedResult(token);
+    ASSERT_NE(r, nullptr);
+    EXPECT_FALSE(r->accepted);
+}
+
+TEST_F(FailureTest, InterfaceReestablishesItsStreams)
+{
+    build(Topology::ring(4));
+    NetworkInterface ni(*net, 0, 99);
+    ni.setAutoReestablish(true);
+    ASSERT_TRUE(ni.openCbrStream(1, 10 * kMbps));
+
+    for (Cycle t = 0; t < 500; ++t) {
+        ni.tick(kernel.now());
+        kernel.step();
+    }
+    ASSERT_TRUE(net->failLink(0, 1));
+    for (Cycle t = 0; t < 2000; ++t) {
+        ni.tick(kernel.now());
+        kernel.step();
+    }
+    EXPECT_EQ(ni.lostStreams(), 1u);
+    EXPECT_EQ(ni.reestablishedStreams(), 1u);
+    EXPECT_EQ(ni.establishedStreams(), 1u);
+    // The replacement connection flows over the surviving path.
+    const auto conns = ni.connections();
+    ASSERT_EQ(conns.size(), 1u);
+    EXPECT_EQ(net->connectionState(conns[0]),
+              Network::ConnState::Open);
+    const auto path = net->connectionPath(conns[0]);
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path[1], 3u) << "rerouted the long way round";
+}
+
+TEST_F(FailureTest, WithoutAutoReestablishStreamsAreRetired)
+{
+    build(Topology::ring(4));
+    NetworkInterface ni(*net, 0, 100);
+    ASSERT_TRUE(ni.openCbrStream(1, 10 * kMbps));
+    ASSERT_TRUE(net->failLink(0, 1));
+    for (Cycle t = 0; t < 100; ++t) {
+        ni.tick(kernel.now());
+        kernel.step();
+    }
+    EXPECT_EQ(ni.lostStreams(), 1u);
+    EXPECT_EQ(ni.reestablishedStreams(), 0u);
+    EXPECT_EQ(ni.establishedStreams(), 0u);
+}
+
+TEST_F(FailureTest, SurvivingTrafficKeepsFlowing)
+{
+    build(Topology::mesh2d(3, 3));
+    const auto keep = net->openCbr(6, 8, 100 * kMbps);
+    ASSERT_TRUE(keep.accepted);
+    ASSERT_TRUE(net->failLink(0, 1));
+    net->endToEnd().startMeasurement(0);
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        Flit f;
+        f.seq = i;
+        ASSERT_TRUE(net->inject(keep.id, f, kernel.now()));
+        kernel.run(13);
+    }
+    kernel.run(100);
+    const auto *rec = net->endToEnd().connection(keep.id);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->delay().count(), 10u);
+}
+
+} // namespace
+} // namespace mmr

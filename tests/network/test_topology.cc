@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit and property tests for the topology builders and graph queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "network/topology.hh"
+
+namespace mmr
+{
+namespace
+{
+
+TEST(Topology, Mesh2dStructure)
+{
+    const Topology t = Topology::mesh2d(3, 2);
+    EXPECT_EQ(t.numNodes(), 6u);
+    EXPECT_EQ(t.numLinks(), 7u); // 2*2 horizontal + 3 vertical
+    EXPECT_TRUE(t.connected());
+    // Corner degree 2, edge degree 3.
+    EXPECT_EQ(t.degree(0), 2u);
+    EXPECT_EQ(t.degree(1), 3u);
+    EXPECT_EQ(t.maxDegree(), 3u);
+}
+
+TEST(Topology, Mesh2dDistancesAreManhattan)
+{
+    const Topology t = Topology::mesh2d(4, 4);
+    auto id = [](unsigned x, unsigned y) { return y * 4 + x; };
+    EXPECT_EQ(t.distance(id(0, 0), id(3, 3)), 6u);
+    EXPECT_EQ(t.distance(id(1, 2), id(2, 0)), 3u);
+    EXPECT_EQ(t.distance(id(2, 2), id(2, 2)), 0u);
+}
+
+TEST(Topology, Torus2dWrapsAround)
+{
+    const Topology t = Topology::torus2d(4, 4);
+    EXPECT_EQ(t.numNodes(), 16u);
+    EXPECT_EQ(t.numLinks(), 32u);
+    for (NodeId n = 0; n < 16; ++n)
+        EXPECT_EQ(t.degree(n), 4u);
+    // Opposite corners are 2 hops away thanks to the wrap links.
+    EXPECT_EQ(t.distance(0, 15), 2u);
+}
+
+TEST(Topology, RingAndStar)
+{
+    const Topology ring = Topology::ring(6);
+    EXPECT_EQ(ring.numLinks(), 6u);
+    EXPECT_EQ(ring.distance(0, 3), 3u);
+    EXPECT_EQ(ring.distance(0, 5), 1u);
+
+    const Topology star = Topology::star(5);
+    EXPECT_EQ(star.numNodes(), 6u);
+    EXPECT_EQ(star.degree(0), 5u);
+    EXPECT_EQ(star.distance(1, 5), 2u);
+}
+
+TEST(Topology, PortWiringIsConsistent)
+{
+    const Topology t = Topology::mesh2d(3, 3);
+    for (NodeId n = 0; n < t.numNodes(); ++n) {
+        for (const auto &p : t.ports(n)) {
+            EXPECT_EQ(t.neighborAt(n, p.localPort), p.neighbor);
+            // The remote side points back through remotePort.
+            const auto &back = t.ports(p.neighbor)[p.remotePort];
+            EXPECT_EQ(back.neighbor, n);
+            EXPECT_EQ(back.remotePort, p.localPort);
+            EXPECT_EQ(t.portTowards(n, p.neighbor), p.localPort);
+        }
+    }
+    EXPECT_EQ(t.portTowards(0, 8), kInvalidPort) << "not adjacent";
+}
+
+TEST(Topology, DuplicateAndSelfLinksAreFatal)
+{
+    Topology t(3);
+    t.addLink(0, 1);
+    EXPECT_THROW(t.addLink(1, 0), std::runtime_error);
+    EXPECT_THROW(t.addLink(2, 2), std::runtime_error);
+}
+
+class IrregularTopologyProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(IrregularTopologyProperty, ConnectedAndDegreeBounded)
+{
+    Rng rng(GetParam());
+    const unsigned n = 16;
+    const unsigned max_degree = 4;
+    const Topology t = Topology::irregular(n, 6, max_degree, rng);
+    EXPECT_EQ(t.numNodes(), n);
+    EXPECT_TRUE(t.connected());
+    EXPECT_GE(t.numLinks(), n - 1) << "at least a spanning tree";
+    for (NodeId i = 0; i < n; ++i)
+        EXPECT_LE(t.degree(i), max_degree);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrregularTopologyProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace mmr

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for bandwidth allocation and admission control (§4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "router/admission.hh"
+
+namespace mmr
+{
+namespace
+{
+
+TEST(Admission, CbrWithinRoundAccepted)
+{
+    AdmissionController a(4, 512, 2.0, 0.0);
+    EXPECT_TRUE(a.tryAdmitCbr(0, 100));
+    EXPECT_TRUE(a.tryAdmitCbr(0, 412));
+    EXPECT_EQ(a.allocatedCycles(0), 512u);
+    EXPECT_EQ(a.availableCycles(0), 0u);
+}
+
+TEST(Admission, CbrBeyondRoundRejectedWithoutSideEffects)
+{
+    AdmissionController a(4, 512, 2.0, 0.0);
+    EXPECT_TRUE(a.tryAdmitCbr(1, 500));
+    EXPECT_FALSE(a.tryAdmitCbr(1, 13));
+    EXPECT_EQ(a.allocatedCycles(1), 500u) << "failed admit must not leak";
+    EXPECT_TRUE(a.tryAdmitCbr(1, 12));
+}
+
+TEST(Admission, LinksAreIndependent)
+{
+    AdmissionController a(2, 100, 2.0, 0.0);
+    EXPECT_TRUE(a.tryAdmitCbr(0, 100));
+    EXPECT_TRUE(a.tryAdmitCbr(1, 100));
+    EXPECT_FALSE(a.tryAdmitCbr(0, 1));
+}
+
+TEST(Admission, ReleaseRestoresCapacity)
+{
+    AdmissionController a(1, 100, 2.0, 0.0);
+    EXPECT_TRUE(a.tryAdmitCbr(0, 100));
+    a.releaseCbr(0, 40);
+    EXPECT_EQ(a.allocatedCycles(0), 60u);
+    EXPECT_TRUE(a.tryAdmitCbr(0, 40));
+}
+
+TEST(Admission, VbrPermanentConditionBinds)
+{
+    AdmissionController a(1, 100, 10.0, 0.0);
+    // Permanent bandwidth is the hard condition (i).
+    EXPECT_TRUE(a.tryAdmitVbr(0, 60, 90));
+    EXPECT_FALSE(a.tryAdmitVbr(0, 50, 60)) << "perm sum 110 > 100";
+    EXPECT_TRUE(a.tryAdmitVbr(0, 40, 60));
+    EXPECT_EQ(a.allocatedCycles(0), 100u);
+    EXPECT_EQ(a.peakCycles(0), 150u);
+}
+
+TEST(Admission, VbrPeakConditionBinds)
+{
+    // Condition (ii): total peak <= round x concurrency factor.
+    AdmissionController a(1, 100, 1.5, 0.0);
+    EXPECT_TRUE(a.tryAdmitVbr(0, 10, 100));
+    EXPECT_TRUE(a.tryAdmitVbr(0, 10, 50));
+    EXPECT_FALSE(a.tryAdmitVbr(0, 10, 10)) << "peak 160 > 150";
+    EXPECT_EQ(a.peakCycles(0), 150u);
+}
+
+TEST(Admission, VbrReleaseRestoresBothRegisters)
+{
+    AdmissionController a(1, 100, 2.0, 0.0);
+    ASSERT_TRUE(a.tryAdmitVbr(0, 30, 80));
+    a.releaseVbr(0, 30, 80);
+    EXPECT_EQ(a.allocatedCycles(0), 0u);
+    EXPECT_EQ(a.peakCycles(0), 0u);
+}
+
+TEST(Admission, CbrAndVbrShareTheAllocatedRegister)
+{
+    AdmissionController a(1, 100, 2.0, 0.0);
+    EXPECT_TRUE(a.tryAdmitCbr(0, 70));
+    EXPECT_FALSE(a.tryAdmitVbr(0, 40, 40));
+    EXPECT_TRUE(a.tryAdmitVbr(0, 30, 60));
+}
+
+TEST(Admission, BestEffortReserveWithheld)
+{
+    // 25% of the round stays unreservable so best-effort traffic
+    // cannot starve (§4.2).
+    AdmissionController a(1, 100, 2.0, 0.25);
+    EXPECT_EQ(a.reservableCycles(), 75u);
+    EXPECT_FALSE(a.tryAdmitCbr(0, 80));
+    EXPECT_TRUE(a.tryAdmitCbr(0, 75));
+}
+
+TEST(Admission, RenegotiateUpAndDown)
+{
+    AdmissionController a(1, 100, 2.0, 0.0);
+    ASSERT_TRUE(a.tryAdmitCbr(0, 50));
+    ASSERT_TRUE(a.tryAdmitCbr(0, 30));
+    // 50 -> 60 fits (80 - 50 + 60 = 90).
+    EXPECT_TRUE(a.renegotiateCbr(0, 50, 60));
+    EXPECT_EQ(a.allocatedCycles(0), 90u);
+    // 60 -> 80 does not fit (90 - 60 + 80 = 110).
+    EXPECT_FALSE(a.renegotiateCbr(0, 60, 80));
+    EXPECT_EQ(a.allocatedCycles(0), 90u) << "failed renegotiate leaks";
+    // Shrinking always fits.
+    EXPECT_TRUE(a.renegotiateCbr(0, 60, 10));
+    EXPECT_EQ(a.allocatedCycles(0), 40u);
+}
+
+TEST(AdmissionDeath, OverReleasePanics)
+{
+    AdmissionController a(1, 100, 2.0, 0.0);
+    ASSERT_TRUE(a.tryAdmitCbr(0, 10));
+    EXPECT_DEATH(a.releaseCbr(0, 11), "more than allocated");
+}
+
+TEST(AdmissionDeath, BadPortPanics)
+{
+    AdmissionController a(2, 100, 2.0, 0.0);
+    EXPECT_DEATH(a.tryAdmitCbr(2, 1), "out of range");
+}
+
+/** Property: a random admit/release workload never overcommits. */
+class AdmissionProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AdmissionProperty, NeverOvercommits)
+{
+    Rng rng(GetParam());
+    AdmissionController a(4, 512, 2.0, 0.1);
+    struct Grant
+    {
+        PortId out;
+        unsigned perm, peak;
+        bool vbr;
+    };
+    std::vector<Grant> live;
+    for (int step = 0; step < 2000; ++step) {
+        if (!live.empty() && rng.chance(0.4)) {
+            const auto i = rng.below(live.size());
+            const Grant g = live[i];
+            live.erase(live.begin() + i);
+            if (g.vbr)
+                a.releaseVbr(g.out, g.perm, g.peak);
+            else
+                a.releaseCbr(g.out, g.perm);
+        } else {
+            Grant g;
+            g.out = static_cast<PortId>(rng.below(4));
+            g.vbr = rng.chance(0.5);
+            g.perm = 1 + static_cast<unsigned>(rng.below(64));
+            g.peak = g.perm + static_cast<unsigned>(rng.below(128));
+            const bool ok = g.vbr
+                                ? a.tryAdmitVbr(g.out, g.perm, g.peak)
+                                : a.tryAdmitCbr(g.out, g.perm);
+            if (ok)
+                live.push_back(g);
+        }
+        for (PortId p = 0; p < 4; ++p) {
+            ASSERT_LE(a.allocatedCycles(p), a.reservableCycles());
+            ASSERT_LE(static_cast<double>(a.peakCycles(p)),
+                      a.reservableCycles() * a.concurrency() + 1e-9);
+        }
+    }
+    // Releasing everything must drain both registers exactly.
+    for (const Grant &g : live) {
+        if (g.vbr)
+            a.releaseVbr(g.out, g.perm, g.peak);
+        else
+            a.releaseCbr(g.out, g.perm);
+    }
+    for (PortId p = 0; p < 4; ++p) {
+        EXPECT_EQ(a.allocatedCycles(p), 0u);
+        EXPECT_EQ(a.peakCycles(p), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdmissionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace mmr

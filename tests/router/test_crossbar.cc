@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the crossbar organization cost model (§3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "router/crossbar.hh"
+
+namespace mmr
+{
+namespace
+{
+
+CrossbarModel
+model(CrossbarOrg org, unsigned ports = 8, unsigned vcs = 256)
+{
+    CrossbarModel m;
+    m.org = org;
+    m.numPorts = ports;
+    m.vcsPerPort = vcs;
+    m.datapathBits = 128;
+    return m;
+}
+
+TEST(Crossbar, CrosspointCounts)
+{
+    EXPECT_EQ(model(CrossbarOrg::Multiplexed).crosspoints(), 64u);
+    EXPECT_EQ(model(CrossbarOrg::PartiallyDemuxed).crosspoints(),
+              8u * 256u * 8u);
+    EXPECT_EQ(model(CrossbarOrg::FullyDemuxed).crosspoints(),
+              std::uint64_t{8} * 256 * 8 * 256);
+}
+
+TEST(Crossbar, AreaRatiosAreVandVSquared)
+{
+    // §3.3: the multiplexed crossbar "reduces silicon area by V and
+    // V^2, respectively, with respect to a partially multiplexed and a
+    // fully de-multiplexed crossbar".
+    const double v = 256.0;
+    EXPECT_DOUBLE_EQ(
+        model(CrossbarOrg::Multiplexed).areaRatioVsMultiplexed(), 1.0);
+    EXPECT_DOUBLE_EQ(
+        model(CrossbarOrg::PartiallyDemuxed).areaRatioVsMultiplexed(), v);
+    EXPECT_DOUBLE_EQ(
+        model(CrossbarOrg::FullyDemuxed).areaRatioVsMultiplexed(),
+        v * v);
+}
+
+TEST(Crossbar, ArbiterFanIn)
+{
+    EXPECT_EQ(model(CrossbarOrg::Multiplexed).arbiterFanIn(), 8u);
+    EXPECT_EQ(model(CrossbarOrg::PartiallyDemuxed).arbiterFanIn(),
+              8u * 256u);
+    EXPECT_EQ(model(CrossbarOrg::FullyDemuxed).arbiterFanIn(),
+              8u * 256u);
+}
+
+TEST(Crossbar, ArbitrationDelayIsLogFanIn)
+{
+    EXPECT_EQ(model(CrossbarOrg::Multiplexed).arbitrationDelayUnits(),
+              3u); // log2(8)
+    EXPECT_EQ(
+        model(CrossbarOrg::PartiallyDemuxed).arbitrationDelayUnits(),
+        11u); // log2(2048)
+}
+
+TEST(Crossbar, MeetsCycleTimeAtPaperDesignPoint)
+{
+    // §6: the crossbar must compute settings in 64-128 ns for 1-2 Gb/s
+    // links with 128-bit flits.  With ~1 ns gate stages a multiplexed
+    // 8x8 arbiter (3 levels) comfortably fits; a de-multiplexed arbiter
+    // over 2048 channels (11 levels) burns 11x more of the budget.
+    const double flit_cycle = flitCycleNs(128, 1.24 * kGbps); // ~103 ns
+    EXPECT_TRUE(model(CrossbarOrg::Multiplexed)
+                    .meetsCycleTime(10.0, flit_cycle));
+    EXPECT_FALSE(model(CrossbarOrg::FullyDemuxed)
+                     .meetsCycleTime(10.0, flit_cycle));
+}
+
+TEST(Crossbar, SinglePortEdgeCase)
+{
+    auto m = model(CrossbarOrg::Multiplexed, 1, 1);
+    EXPECT_EQ(m.arbitrationDelayUnits(), 1u);
+    EXPECT_EQ(m.crosspoints(), 1u);
+}
+
+TEST(ReconfigCounter, CountsChangesOnly)
+{
+    ReconfigCounter rc;
+    rc.note(false); // first configuration
+    rc.note(true);  // same matching held
+    rc.note(true);
+    rc.note(false); // changed
+    EXPECT_EQ(rc.cycles(), 4u);
+    EXPECT_EQ(rc.reconfigurations(), 2u);
+    EXPECT_DOUBLE_EQ(rc.reconfigRate(), 0.5);
+}
+
+TEST(ReconfigCounter, EmptyRateIsZero)
+{
+    ReconfigCounter rc;
+    EXPECT_DOUBLE_EQ(rc.reconfigRate(), 0.0);
+}
+
+} // namespace
+} // namespace mmr

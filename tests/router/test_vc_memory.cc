@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the virtual channel memory (§3.2): the functional
+ * buffer pool and the interleaved-bank timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "router/vc_memory.hh"
+
+namespace mmr
+{
+namespace
+{
+
+Flit
+makeFlit(std::uint32_t seq)
+{
+    Flit f;
+    f.seq = seq;
+    return f;
+}
+
+TEST(VcMemory, DepositAndDrainTrackOccupancy)
+{
+    VcMemory mem(8, 4);
+    mem.vc(2).bindBestEffort(1);
+    EXPECT_TRUE(mem.deposit(2, makeFlit(0)));
+    EXPECT_TRUE(mem.deposit(2, makeFlit(1)));
+    EXPECT_EQ(mem.occupancy(), 2u);
+    EXPECT_EQ(mem.freeSlots(2), 2u);
+    EXPECT_TRUE(mem.flitsAvailable().test(2));
+
+    mem.vc(2).pop();
+    mem.noteDrained(2);
+    EXPECT_EQ(mem.occupancy(), 1u);
+    EXPECT_TRUE(mem.flitsAvailable().test(2));
+    mem.vc(2).pop();
+    mem.noteDrained(2);
+    EXPECT_FALSE(mem.flitsAvailable().test(2));
+    EXPECT_EQ(mem.occupancy(), 0u);
+}
+
+TEST(VcMemory, OverflowRejectedAndCounted)
+{
+    VcMemory mem(2, 2);
+    mem.vc(0).bindBestEffort(1);
+    EXPECT_TRUE(mem.deposit(0, makeFlit(0)));
+    EXPECT_TRUE(mem.deposit(0, makeFlit(1)));
+    EXPECT_FALSE(mem.deposit(0, makeFlit(2)));
+    EXPECT_EQ(mem.overflowCount(), 1u);
+    EXPECT_EQ(mem.occupancy(), 2u);
+    EXPECT_EQ(mem.freeSlots(0), 0u);
+}
+
+TEST(VcMemory, FlitsAvailableTracksManyVcs)
+{
+    VcMemory mem(64, 4);
+    for (VcId v : {VcId{0}, VcId{13}, VcId{63}}) {
+        mem.vc(v).bindBestEffort(v + 1);
+        mem.deposit(v, makeFlit(v));
+    }
+    EXPECT_EQ(mem.flitsAvailable().setBits(),
+              (std::vector<std::size_t>{0, 13, 63}));
+}
+
+TEST(VcMemoryDeath, OutOfRangePanics)
+{
+    VcMemory mem(4, 4);
+    EXPECT_DEATH(mem.vc(4), "out of range");
+    EXPECT_DEATH(mem.noteDrained(0), "zero occupancy");
+}
+
+TEST(VcMemoryModel, WordsPerFlitRoundsUp)
+{
+    VcMemoryModel m;
+    m.wordBits = 32;
+    EXPECT_EQ(m.wordsPerFlit(128), 4u);
+    EXPECT_EQ(m.wordsPerFlit(129), 5u);
+    EXPECT_EQ(m.wordsPerFlit(32), 1u);
+}
+
+TEST(VcMemoryModel, MoreBanksMoreBandwidth)
+{
+    double prev = 0.0;
+    for (unsigned banks : {1u, 2u, 4u, 8u}) {
+        VcMemoryModel m{banks, 32, 6.0, 1};
+        const double rate = m.sustainableRateBps(128);
+        EXPECT_GE(rate, prev);
+        prev = rate;
+    }
+}
+
+TEST(VcMemoryModel, DualPortDoublesBandwidth)
+{
+    VcMemoryModel single{4, 32, 6.0, 1};
+    VcMemoryModel dual{4, 32, 6.0, 2};
+    EXPECT_NEAR(dual.sustainableRateBps(128),
+                2.0 * single.sustainableRateBps(128), 1.0);
+}
+
+TEST(VcMemoryModel, MinBanksIsTight)
+{
+    // The returned bank count sustains the link; one fewer does not.
+    const double link = 1.24 * kGbps;
+    const unsigned banks =
+        VcMemoryModel::minBanksFor(link, 128, 32, 6.0);
+    VcMemoryModel ok{banks, 32, 6.0, 1};
+    EXPECT_TRUE(ok.matchesLink(128, link));
+    if (banks > 1) {
+        VcMemoryModel tight{banks - 1, 32, 6.0, 1};
+        EXPECT_FALSE(tight.matchesLink(128, link));
+    }
+}
+
+TEST(VcMemoryModel, PaperDesignPointIsFeasible)
+{
+    // §3.2: banks and flit size are chosen to balance memory access
+    // time against a 1.24 Gb/s link.  A modest SRAM (6 ns) with a
+    // 32-bit datapath needs only a handful of interleaved banks.
+    const unsigned banks =
+        VcMemoryModel::minBanksFor(1.24 * kGbps, 128, 32, 6.0);
+    EXPECT_LE(banks, 8u);
+}
+
+TEST(VcMemoryModel, FlitAccessScalesWithFlitSize)
+{
+    VcMemoryModel m{4, 32, 5.0, 1};
+    EXPECT_DOUBLE_EQ(m.flitAccessNs(128), 5.0);  // 4 words, 1 group
+    EXPECT_DOUBLE_EQ(m.flitAccessNs(256), 10.0); // 8 words, 2 groups
+    EXPECT_DOUBLE_EQ(m.flitAccessNs(64), 5.0);   // 2 words, 1 group
+}
+
+} // namespace
+} // namespace mmr

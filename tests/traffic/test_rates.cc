@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the rate ladder and bandwidth quantization (§4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "traffic/rates.hh"
+
+namespace mmr
+{
+namespace
+{
+
+TEST(Rates, PaperLadderContents)
+{
+    const auto &l = paperRateLadder();
+    ASSERT_EQ(l.size(), 9u);
+    EXPECT_DOUBLE_EQ(l.front(), 64 * kKbps);
+    EXPECT_DOUBLE_EQ(l.back(), 120 * kMbps);
+    // Strictly increasing.
+    for (std::size_t i = 1; i < l.size(); ++i)
+        EXPECT_LT(l[i - 1], l[i]);
+}
+
+TEST(Rates, CyclesPerRoundNeverUndershoots)
+{
+    const double link = 1.24 * kGbps;
+    const unsigned round = 512;
+    for (double rate : paperRateLadder()) {
+        const unsigned cycles = cyclesPerRound(rate, link, round);
+        EXPECT_GE(cycles, 1u);
+        // The granted rate covers the requested rate.
+        EXPECT_GE(grantedRate(cycles, link, round), rate);
+        // ...but by less than one extra cycle's worth.
+        EXPECT_LT(grantedRate(cycles, link, round),
+                  rate + link / round + 1e-6);
+    }
+}
+
+TEST(Rates, FullLinkIsWholeRound)
+{
+    EXPECT_EQ(cyclesPerRound(1.24 * kGbps, 1.24 * kGbps, 512), 512u);
+}
+
+TEST(Rates, QuantizationErrorShrinksWithK)
+{
+    // The §4.1 trade-off: larger K (longer rounds) allocates closer
+    // to the requested rate.
+    const double link = 1.24 * kGbps;
+    const double rate = 1.54 * kMbps;
+    const unsigned v = 256;
+    double prev_err = 1e18;
+    for (unsigned k = 1; k <= 16; k *= 2) {
+        const unsigned round = k * v;
+        const double granted =
+            grantedRate(cyclesPerRound(rate, link, round), link, round);
+        const double err = granted - rate;
+        EXPECT_GE(err, 0.0);
+        EXPECT_LE(err, prev_err + 1e-6);
+        prev_err = err;
+    }
+}
+
+TEST(Rates, ClassNames)
+{
+    EXPECT_EQ(to_string(TrafficClass::CBR), "CBR");
+    EXPECT_EQ(to_string(TrafficClass::VBR), "VBR");
+    EXPECT_EQ(to_string(TrafficClass::BestEffort), "best-effort");
+    EXPECT_EQ(to_string(TrafficClass::Control), "control");
+}
+
+TEST(RatesDeath, OverLinkRatePanics)
+{
+    EXPECT_DEATH(cyclesPerRound(2 * kGbps, 1 * kGbps, 512),
+                 "exceeds link rate");
+}
+
+} // namespace
+} // namespace mmr
