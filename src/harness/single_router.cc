@@ -1,6 +1,7 @@
 #include "harness/single_router.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "base/logging.hh"
 #include "metrics/steady_state.hh"
@@ -252,6 +253,11 @@ SingleRouterExperiment::run()
 
     Kernel kernel;
     kernel.add(dut.get(), "router");
+    // The auditor ticks after the router so every cycle's committed
+    // state satisfies the conservation laws before the next begins.
+    dut->registerInvariants(auditor);
+    kernel.registerInvariants(auditor);
+    kernel.add(&auditor, "invariants");
 
     Cycle warmup = cfg.warmupCycles;
     if (cfg.autoWarmup) {
@@ -335,6 +341,77 @@ runSingleRouter(const ExperimentConfig &cfg)
 {
     SingleRouterExperiment exp(cfg);
     return exp.run();
+}
+
+namespace
+{
+
+/** FNV-1a, folded field by field so every statistic participates. */
+class Fnv1a
+{
+  public:
+    void addU64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= (v >> (8 * i)) & 0xff;
+            hash *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    addDouble(double v)
+    {
+        // Canonicalize: -0.0 == 0.0 but their bit patterns differ.
+        if (v == 0.0)
+            v = 0.0;
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        addU64(bits);
+    }
+
+    std::uint64_t value() const { return hash; }
+
+  private:
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+};
+
+void
+digestClass(Fnv1a &h, const ClassResult &c)
+{
+    h.addU64(c.flits);
+    h.addU64(c.deadlineMisses);
+    h.addU64(c.deadlineTotal);
+    h.addU64(c.delayCycles.count());
+    h.addDouble(c.delayCycles.mean());
+    h.addDouble(c.delayCycles.max());
+    h.addU64(c.jitterCycles.count());
+    h.addDouble(c.jitterCycles.mean());
+}
+
+} // namespace
+
+std::uint64_t
+resultDigest(const ExperimentResult &r)
+{
+    Fnv1a h;
+    h.addDouble(r.offeredLoad);
+    h.addDouble(r.achievedLoad);
+    h.addU64(r.connections);
+    h.addDouble(r.meanDelayCycles);
+    h.addDouble(r.meanDelayUs);
+    h.addDouble(r.meanJitterCycles);
+    h.addDouble(r.p99DelayCycles);
+    h.addDouble(r.utilization);
+    h.addU64(r.flitsDelivered);
+    h.addU64(r.injectionRejects);
+    h.addU64(r.abortedFlits);
+    h.addU64(r.warmupUsed);
+    digestClass(h, r.cbr);
+    digestClass(h, r.vbr);
+    digestClass(h, r.bestEffort);
+    h.addDouble(r.flitCycleNanos);
+    return h.value();
 }
 
 } // namespace mmr

@@ -27,6 +27,7 @@
 
 #include "metrics/recorder.hh"
 #include "router/router.hh"
+#include "sim/invariant.hh"
 #include "traffic/besteffort_source.hh"
 #include "traffic/cbr_source.hh"
 #include "traffic/vbr_source.hh"
@@ -139,6 +140,10 @@ class SingleRouterExperiment
     MmrRouter &router() { return *dut; }
     MetricsRecorder &metrics() { return recorder; }
 
+    /** The invariant auditor ticking alongside the router.  Always
+     * registered; whether checks execute follows invariant::enabled(). */
+    InvariantChecker &invariants() { return auditor; }
+
     /** Connections established by buildWorkload (after run()). */
     unsigned connectionCount() const
     {
@@ -172,6 +177,7 @@ class SingleRouterExperiment
     ExperimentConfig cfg;
     MetricsRecorder recorder;
     std::unique_ptr<MmrRouter> dut;
+    InvariantChecker auditor;
     Rng rng;
 
     std::vector<Stream> streams;
@@ -189,6 +195,15 @@ class SingleRouterExperiment
 
 /** Convenience wrapper: configure, run, return the result. */
 ExperimentResult runSingleRouter(const ExperimentConfig &cfg);
+
+/**
+ * Order-sensitive digest of every statistic in an ExperimentResult
+ * (FNV-1a over the raw field bytes).  Two same-seed runs must produce
+ * bit-identical digests — the determinism audit that catches
+ * unordered-container iteration order or uninitialized-memory bugs
+ * before any parallelism work relies on it.
+ */
+std::uint64_t resultDigest(const ExperimentResult &r);
 
 } // namespace mmr
 

@@ -1,5 +1,6 @@
 #include "metrics/recorder.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace mmr
@@ -53,9 +54,12 @@ MetricsRecorder::recordOutputSlots(unsigned flits, unsigned ports,
 double
 MetricsRecorder::meanDelayCycles() const
 {
+    // Merge in sorted connection order: StreamStat::merge is floating
+    // point and therefore not associative, so unordered_map iteration
+    // order must not leak into reported results (determinism audit).
     StreamStat all;
-    for (const auto &[conn, rec] : perConn)
-        all.merge(rec.delay());
+    for (ConnId conn : connections())
+        all.merge(perConn.at(conn).delay());
     return all.mean();
 }
 
@@ -63,8 +67,8 @@ double
 MetricsRecorder::meanJitterCycles() const
 {
     StreamStat all;
-    for (const auto &[conn, rec] : perConn)
-        all.merge(rec.jitter());
+    for (ConnId conn : connections())
+        all.merge(perConn.at(conn).jitter());
     return all.mean();
 }
 
@@ -91,6 +95,7 @@ MetricsRecorder::connections() const
     ids.reserve(perConn.size());
     for (const auto &[conn, rec] : perConn)
         ids.push_back(conn);
+    std::sort(ids.begin(), ids.end());
     return ids;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "sim/invariant.hh"
 
 namespace mmr
 {
@@ -36,9 +37,12 @@ CreditManager::consume(PortId port, VcId vc)
     if (infinite)
         return;
     unsigned &c = counters[index(port, vc)];
-    mmr_assert(c > 0, "consuming a credit that is not there on (",
-               port, ",", vc, ")");
+    if (c == 0) {
+        mmr_panic("credit underflow: consuming a credit that is not "
+                  "there on (", port, ",", vc, ")");
+    }
     --c;
+    ++statConsumed;
 }
 
 void
@@ -47,8 +51,12 @@ CreditManager::replenish(PortId port, VcId vc)
     if (infinite)
         return;
     unsigned &c = counters[index(port, vc)];
-    mmr_assert(c < initial, "credit overflow on (", port, ",", vc, ")");
+    if (c >= initial) {
+        mmr_panic("credit overflow on (", port, ",", vc,
+                  "): more returns than the downstream depth ", initial);
+    }
     ++c;
+    ++statReplenished;
 }
 
 unsigned
@@ -60,7 +68,54 @@ CreditManager::credits(PortId port, VcId vc) const
 void
 CreditManager::reset(PortId port, VcId vc)
 {
-    counters[index(port, vc)] = initial;
+    unsigned &c = counters[index(port, vc)];
+    statResetReclaimed += initial - c;
+    c = initial;
+}
+
+void
+CreditManager::audit(const CensusFn &census) const
+{
+    if (infinite)
+        return; // counters are frozen at the initial depth
+    std::uint64_t outstanding = 0;
+    for (PortId p = 0; p < numPorts; ++p) {
+        for (VcId v = 0; v < numVcs; ++v) {
+            const unsigned c = counters[index(p, v)];
+            if (c > initial) {
+                mmr_invariant_violated(
+                    "credit-ledger", "(", p, ",", v, ") holds ", c,
+                    " credits, above the downstream depth ", initial);
+            }
+            outstanding += initial - c;
+            if (census) {
+                const unsigned occ = census(p, v);
+                if (c + occ != initial) {
+                    mmr_invariant_violated(
+                        "credit-ledger", "(", p, ",", v, "): ", c,
+                        " credits + ", occ,
+                        " downstream flits != depth ", initial);
+                }
+            }
+        }
+    }
+    const std::uint64_t drained = statReplenished + statResetReclaimed;
+    if (statConsumed < drained ||
+        outstanding != statConsumed - drained) {
+        mmr_invariant_violated(
+            "credit-ledger", "outstanding census ", outstanding,
+            " != consumed ", statConsumed, " - replenished ",
+            statReplenished, " - reclaimed ", statResetReclaimed);
+    }
+}
+
+void
+CreditManager::registerInvariants(InvariantChecker &chk, CensusFn census,
+                                  unsigned period) const
+{
+    chk.add("credit-ledger",
+            [this, census = std::move(census)](Cycle) { audit(census); },
+            period);
 }
 
 namespace

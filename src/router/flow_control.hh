@@ -16,6 +16,7 @@
 #define MMR_ROUTER_FLOW_CONTROL_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "base/types.hh"
@@ -23,6 +24,8 @@
 
 namespace mmr
 {
+
+class InvariantChecker;
 
 /** Per-(output port, output VC) credit counters. */
 class CreditManager
@@ -52,6 +55,32 @@ class CreditManager
     /** Reset one VC's credits to the initial value (VC released). */
     void reset(PortId port, VcId vc);
 
+    /** Lifetime credit ledger (conservation audit inputs). */
+    std::uint64_t consumedCount() const { return statConsumed; }
+    std::uint64_t replenishedCount() const { return statReplenished; }
+
+    /**
+     * Downstream occupancy census: flits currently buffered in the
+     * downstream VC that (port, vc) feeds.  Supplied by whoever wires
+     * the links (network layer or a test) so credit conservation can
+     * be stated exactly: credits + downstream occupancy == depth.
+     */
+    using CensusFn = std::function<unsigned(PortId, VcId)>;
+
+    /**
+     * Audit credit conservation; panics on violation.  The internal
+     * ledger (credits outstanding == consumed - replenished - amounts
+     * reclaimed by reset()) is always checked; when @p census is
+     * provided, each counter is additionally checked against the
+     * actual downstream buffer: credits + occupancy == initial depth.
+     */
+    void audit(const CensusFn &census = nullptr) const;
+
+    /** Register the 'credit-ledger' invariant with an auditor. */
+    void registerInvariants(InvariantChecker &chk,
+                            CensusFn census = nullptr,
+                            unsigned period = 1) const;
+
   private:
     std::size_t index(PortId port, VcId vc) const;
 
@@ -60,6 +89,11 @@ class CreditManager
     unsigned initial;
     bool infinite = false;
     std::vector<unsigned> counters;
+
+    std::uint64_t statConsumed = 0;
+    std::uint64_t statReplenished = 0;
+    /** Outstanding credits written off by reset() (VC teardown). */
+    std::uint64_t statResetReclaimed = 0;
 };
 
 /**

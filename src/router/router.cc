@@ -566,4 +566,122 @@ MmrRouter::forwardedByClass(TrafficClass c) const
     return statByClass[static_cast<int>(c)];
 }
 
+// ---------------------------------------------------------------------
+// Invariant auditing
+// ---------------------------------------------------------------------
+
+void
+MmrRouter::registerInvariants(InvariantChecker &chk,
+                              unsigned sweep_period)
+{
+    // Flit conservation (§3.1: credit-based flow control "guarantees
+    // flits are never dropped").  Every flit that entered a VC memory
+    // is either still buffered or was forwarded through the crossbar;
+    // bypass cut-throughs never enter a VC memory and are excluded
+    // from both sides.  Depths are summed from the FIFOs themselves so
+    // a flit removed behind the router's back is caught even when the
+    // occupancy counters were fooled too.
+    chk.add(
+        "flit-conservation",
+        [this](Cycle) {
+            std::uint64_t buffered = 0;
+            for (const VcMemory &m : inputMems)
+                for (VcId v = 0; v < m.numVcs(); ++v)
+                    buffered += m.vc(v).depth();
+            const std::uint64_t via_switch =
+                statForwarded - statBypassHits;
+            if (statInjected != via_switch + buffered) {
+                mmr_invariant_violated(
+                    "flit-conservation", statInjected,
+                    " flits injected != ", via_switch,
+                    " forwarded through the switch + ", buffered,
+                    " still buffered");
+            }
+        },
+        sweep_period);
+
+    // VC memory occupancy bookkeeping matches the FIFO ground truth.
+    chk.add(
+        "vc-occupancy",
+        [this](Cycle) {
+            for (const VcMemory &m : inputMems)
+                m.auditOccupancy();
+        },
+        sweep_period);
+
+    // VC state machine legality: free VCs hold nothing, mapped VCs
+    // are bound, pending grants are covered by buffered flits.
+    chk.add(
+        "vc-legality",
+        [this](Cycle) {
+            for (const VcMemory &m : inputMems)
+                m.auditLegality();
+        },
+        sweep_period);
+
+    // Admission ledger (§4.2): the per-link allocated/peak registers
+    // equal the sum over installed segments, and stay within the round
+    // minus the best-effort reserve.
+    chk.add(
+        "admission-ledger",
+        [this](Cycle) {
+            std::vector<unsigned> alloc(cfg.numPorts, 0);
+            std::vector<unsigned> peak(cfg.numPorts, 0);
+            for (const auto &[id, p] : conns) {
+                if (p.klass == TrafficClass::CBR) {
+                    alloc[p.out] += p.allocCycles;
+                } else if (p.klass == TrafficClass::VBR) {
+                    alloc[p.out] += p.permCycles;
+                    peak[p.out] += p.peakCycles;
+                }
+            }
+            const double peak_limit =
+                static_cast<double>(admit.reservableCycles()) *
+                admit.concurrency();
+            for (PortId o = 0; o < cfg.numPorts; ++o) {
+                if (admit.allocatedCycles(o) != alloc[o]) {
+                    mmr_invariant_violated(
+                        "admission-ledger", "output ", o,
+                        ": allocated register ",
+                        admit.allocatedCycles(o),
+                        " != sum of bound segments ", alloc[o]);
+                }
+                if (admit.peakCycles(o) != peak[o]) {
+                    mmr_invariant_violated(
+                        "admission-ledger", "output ", o,
+                        ": peak register ", admit.peakCycles(o),
+                        " != sum of bound segments ", peak[o]);
+                }
+                if (admit.allocatedCycles(o) >
+                    admit.reservableCycles()) {
+                    mmr_invariant_violated(
+                        "admission-ledger", "output ", o,
+                        ": allocated ", admit.allocatedCycles(o),
+                        " cycles/round exceeds the reservable ",
+                        admit.reservableCycles(),
+                        " (round minus best-effort reserve)");
+                }
+                if (static_cast<double>(admit.peakCycles(o)) >
+                    peak_limit) {
+                    mmr_invariant_violated(
+                        "admission-ledger", "output ", o, ": peak ",
+                        admit.peakCycles(o),
+                        " cycles/round exceeds reservable x "
+                        "concurrency = ", peak_limit);
+                }
+            }
+        },
+        sweep_period);
+
+    // Crossbar matching validity: the matching applied next cycle
+    // grants each input and each output at most once (§3.3).
+    chk.add("matching-validity", [this](Cycle) {
+        SwitchScheduler::auditMatching(currentMatching, cfg.numPorts,
+                                       sched->allowsOutputSharing());
+    });
+
+    // Credit conservation (§4.2), internal ledger form.
+    creditMgr.registerInvariants(chk, nullptr, sweep_period);
+}
+
 } // namespace mmr

@@ -37,6 +37,7 @@
 #include "router/routing_unit.hh"
 #include "router/switch_sched.hh"
 #include "router/vc_memory.hh"
+#include "sim/invariant.hh"
 #include "sim/kernel.hh"
 
 namespace mmr
@@ -158,6 +159,23 @@ class MmrRouter : public Clocked
     // ------------------------------------------------------------------
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
+
+    // ------------------------------------------------------------------
+    // Invariant auditing
+    // ------------------------------------------------------------------
+
+    /**
+     * Register this router's conservation-law invariants with an
+     * auditor (§3.1 credits, §4.2 admission): flit-conservation,
+     * vc-occupancy, vc-legality, admission-ledger, matching-validity
+     * and credit-ledger.  The checker must tick after the router so it
+     * audits committed state.
+     *
+     * @param sweep_period stride for the sweeps over all P x V virtual
+     *        channels; cheap per-cycle checks always run every cycle
+     */
+    void registerInvariants(InvariantChecker &chk,
+                            unsigned sweep_period = 16);
 
     // ------------------------------------------------------------------
     // Component access (tests, network layer, benches)

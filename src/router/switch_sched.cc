@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "sim/invariant.hh"
 
 namespace mmr
 {
@@ -26,6 +27,35 @@ SwitchScheduler::validate(const Matching &m, unsigned num_ports,
         }
     }
     return true;
+}
+
+void
+SwitchScheduler::auditMatching(const Matching &m, unsigned num_ports,
+                               bool allow_output_sharing)
+{
+    std::vector<bool> in_used(num_ports, false);
+    std::vector<bool> out_used(num_ports, false);
+    for (const Candidate &c : m) {
+        if (c.in >= num_ports || c.out >= num_ports) {
+            mmr_invariant_violated("matching-validity", "grant (",
+                                   c.in, " -> ", c.out,
+                                   ") references a port outside the ",
+                                   num_ports, "-port switch");
+        }
+        if (in_used[c.in]) {
+            mmr_invariant_violated("matching-validity", "input port ",
+                                   c.in, " matched twice in one cycle");
+        }
+        in_used[c.in] = true;
+        if (!allow_output_sharing) {
+            if (out_used[c.out]) {
+                mmr_invariant_violated("matching-validity",
+                                       "output port ", c.out,
+                                       " matched twice in one cycle");
+            }
+            out_used[c.out] = true;
+        }
+    }
 }
 
 std::unique_ptr<SwitchScheduler>

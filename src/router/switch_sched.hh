@@ -78,6 +78,14 @@ class SwitchScheduler
     static bool validate(const Matching &m, unsigned num_ports,
                          bool allow_output_sharing);
 
+    /**
+     * Panic variant of validate(): reports the offending grant through
+     * the 'matching-validity' invariant.  Used by the runtime invariant
+     * auditor on the matching applied each flit cycle.
+     */
+    static void auditMatching(const Matching &m, unsigned num_ports,
+                              bool allow_output_sharing);
+
     /** Instantiate the scheduler selected by the configuration. */
     static std::unique_ptr<SwitchScheduler> create(
         const RouterConfig &cfg);

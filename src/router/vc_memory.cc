@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "sim/invariant.hh"
 
 namespace mmr
 {
@@ -104,6 +105,63 @@ VcMemory::noteDrained(VcId v)
     --occupied;
     if (vc(v).empty())
         flitsAvail.clear(v);
+}
+
+void
+VcMemory::auditOccupancy() const
+{
+    std::size_t total = 0;
+    for (std::size_t v = 0; v < vcs.size(); ++v) {
+        const std::size_t d = vcs[v].depth();
+        total += d;
+        if (d > perVcDepth) {
+            mmr_invariant_violated("vc-occupancy", "VC ", v, " holds ",
+                                   d, " flits, above the depth limit ",
+                                   perVcDepth);
+        }
+        if (flitsAvail.test(v) != (d > 0)) {
+            mmr_invariant_violated(
+                "vc-occupancy", "VC ", v, " has depth ", d,
+                " but its flits-available bit is ",
+                flitsAvail.test(v) ? "set" : "clear");
+        }
+    }
+    if (total != occupied) {
+        mmr_invariant_violated("vc-occupancy", "occupancy counter ",
+                               occupied, " != summed FIFO depths ",
+                               total);
+    }
+}
+
+void
+VcMemory::auditLegality() const
+{
+    for (std::size_t v = 0; v < vcs.size(); ++v) {
+        const VcState &s = vcs[v];
+        if (!s.bound()) {
+            if (!s.empty()) {
+                mmr_invariant_violated("vc-legality", "free VC ", v,
+                                       " still buffers ", s.depth(),
+                                       " flits");
+            }
+            if (s.mapped()) {
+                mmr_invariant_violated("vc-legality", "free VC ", v,
+                                       " still maps to output (",
+                                       s.outPort(), ",", s.outVc(), ")");
+            }
+            if (s.pendingGrants() != 0) {
+                mmr_invariant_violated("vc-legality", "free VC ", v,
+                                       " has ", s.pendingGrants(),
+                                       " pending grants");
+            }
+        }
+        if (s.pendingGrants() > s.depth()) {
+            mmr_invariant_violated("vc-legality", "VC ", v, " has ",
+                                   s.pendingGrants(),
+                                   " pending grants but only ",
+                                   s.depth(), " buffered flits");
+        }
+    }
 }
 
 } // namespace mmr

@@ -97,6 +97,20 @@ class VcMemory
     /** Called by the router when a flit leaves a VC. */
     void noteDrained(VcId v);
 
+    /**
+     * Occupancy conservation audit ('vc-occupancy'); panics when the
+     * shared occupancy counter, the per-VC FIFO depths, the per-VC
+     * depth limit, or the flits-available bit vector disagree.
+     */
+    void auditOccupancy() const;
+
+    /**
+     * VC state-machine legality audit ('vc-legality'); panics when a
+     * free VC still holds flits, a mapping, or pending grants, or when
+     * a mapped VC is not bound.
+     */
+    void auditLegality() const;
+
   private:
     std::vector<VcState> vcs;
     unsigned perVcDepth;

@@ -63,10 +63,21 @@ VcState::bindControl(ConnId conn_)
     klass = TrafficClass::Control;
 }
 
+void
+VcState::push(const Flit &f)
+{
+    if (!bound())
+        mmr_panic("push() on unbound VC (flit seq ", f.seq, ")");
+    fifo.push_back(f);
+}
+
 Flit
 VcState::pop()
 {
-    mmr_assert(!fifo.empty(), "pop() from empty VC");
+    if (!bound())
+        mmr_panic("pop() from unbound VC");
+    if (fifo.empty())
+        mmr_panic("pop() from empty VC");
     Flit f = fifo.front();
     fifo.pop_front();
     return f;
@@ -75,7 +86,10 @@ VcState::pop()
 const Flit &
 VcState::head() const
 {
-    mmr_assert(!fifo.empty(), "head() of empty VC");
+    if (!bound())
+        mmr_panic("head() of unbound VC");
+    if (fifo.empty())
+        mmr_panic("head() of empty VC");
     return fifo.front();
 }
 

@@ -40,8 +40,11 @@ class VcState
     ConnId conn() const { return connId; }
     TrafficClass trafficClass() const { return klass; }
 
-    /** FIFO interface backed by the VC memory. */
-    void push(const Flit &f) { fifo.push_back(f); }
+    /** FIFO interface backed by the VC memory.  Push/pop/head on an
+     * unbound VC, or pop/head on an empty one, panic: silently
+     * buffering into (or reading from) a free channel would corrupt
+     * the flit-conservation ledger. */
+    void push(const Flit &f);
     Flit pop();
     const Flit &head() const;
     bool empty() const { return fifo.empty(); }

@@ -1,8 +1,6 @@
 #include "sim/event_queue.hh"
 
-#include <algorithm>
-
-#include "base/logging.hh"
+#include "sim/invariant.hh"
 
 namespace mmr
 {
@@ -10,22 +8,24 @@ namespace mmr
 EventQueue::EventId
 EventQueue::schedule(Cycle when, Callback fn)
 {
+    if (when < lastRun) {
+        mmr_invariant_violated("event-monotonic", "scheduling at cycle ",
+                               when, " after runUntil(", lastRun, ")");
+    }
     const EventId id = nextId++;
     heap.push(Entry{when, id, std::move(fn)});
-    ++live;
+    pending.insert(id);
     return id;
 }
 
 void
 EventQueue::cancel(EventId id)
 {
-    if (id >= nextId)
-        return;
-    if (!isCancelled(id)) {
-        cancelled.push_back(id);
-        if (live > 0)
-            --live;
-    }
+    // Only a still-pending event may move to the cancelled set;
+    // cancelling a fired (or already cancelled) id must be a no-op or
+    // the pending census drifts.
+    if (pending.erase(id) > 0)
+        cancelled.insert(id);
 }
 
 Cycle
@@ -40,24 +40,20 @@ EventQueue::nextCycle() const
 void
 EventQueue::runUntil(Cycle now)
 {
+    if (now < lastRun) {
+        mmr_invariant_violated("event-monotonic", "runUntil(", now,
+                               ") after runUntil(", lastRun,
+                               ") would fire events backwards in time");
+    }
+    lastRun = now;
     while (!heap.empty() && heap.top().when <= now) {
         Entry e = heap.top();
         heap.pop();
-        if (isCancelled(e.id)) {
-            cancelled.erase(
-                std::find(cancelled.begin(), cancelled.end(), e.id));
+        if (cancelled.erase(e.id) > 0)
             continue;
-        }
-        --live;
+        pending.erase(e.id);
         e.fn();
     }
-}
-
-bool
-EventQueue::isCancelled(EventId id) const
-{
-    return std::find(cancelled.begin(), cancelled.end(), id) !=
-           cancelled.end();
 }
 
 } // namespace mmr

@@ -8,6 +8,11 @@
  * callbacks at absolute cycles with a stable FIFO order for events at
  * the same cycle (insertion order breaks ties), which keeps runs
  * deterministic.
+ *
+ * Time monotonicity is an enforced invariant ('event-monotonic'):
+ * runUntil() may never move backwards and events may not be scheduled
+ * before the cycle already processed — either would fire callbacks in
+ * non-causal order and silently corrupt simulated time.
  */
 
 #ifndef MMR_SIM_EVENT_QUEUE_HH
@@ -16,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "base/types.hh"
@@ -29,20 +35,25 @@ class EventQueue
     using Callback = std::function<void()>;
     using EventId = std::uint64_t;
 
-    /** Schedule @p fn at absolute cycle @p when. Returns a handle. */
+    /** Schedule @p fn at absolute cycle @p when. Returns a handle.
+     * Panics when @p when precedes the cycle already processed. */
     EventId schedule(Cycle when, Callback fn);
 
     /** Cancel a pending event; no-op when already fired or cancelled. */
     void cancel(EventId id);
 
     /** Cycle of the earliest pending event. */
-    bool empty() const { return live == 0; }
+    bool empty() const { return pending.empty(); }
     Cycle nextCycle() const;
 
-    /** Run every event scheduled at or before @p now. */
+    /** Run every event scheduled at or before @p now.  Panics when
+     * @p now precedes an earlier runUntil() cycle. */
     void runUntil(Cycle now);
 
-    std::size_t pendingCount() const { return live; }
+    std::size_t pendingCount() const { return pending.size(); }
+
+    /** Latest cycle passed to runUntil(); 0 before the first run. */
+    Cycle lastRunCycle() const { return lastRun; }
 
   private:
     struct Entry
@@ -57,11 +68,13 @@ class EventQueue
     };
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-    std::vector<EventId> cancelled;
+    /** Ids scheduled and neither fired nor cancelled.  Never iterated,
+     * so the unordered container cannot perturb determinism. */
+    std::unordered_set<EventId> pending;
+    /** Cancelled ids whose heap entries have not been popped yet. */
+    std::unordered_set<EventId> cancelled;
     EventId nextId = 0;
-    std::size_t live = 0;
-
-    bool isCancelled(EventId id) const;
+    Cycle lastRun = 0;
 };
 
 } // namespace mmr

@@ -1,6 +1,7 @@
 #include "sim/kernel.hh"
 
 #include "base/logging.hh"
+#include "sim/invariant.hh"
 
 namespace mmr
 {
@@ -28,6 +29,22 @@ Kernel::run(Cycle cycles)
 {
     for (Cycle i = 0; i < cycles; ++i)
         step();
+}
+
+void
+Kernel::registerInvariants(InvariantChecker &chk) const
+{
+    // schedule()/runUntil() already refuse to move time backwards;
+    // this audit additionally catches heap corruption that would leave
+    // an unfired event behind the processed cycle.
+    chk.add("event-monotonic", [this](Cycle) {
+        if (!queue.empty() && queue.nextCycle() < queue.lastRunCycle()) {
+            mmr_invariant_violated(
+                "event-monotonic", "pending event at cycle ",
+                queue.nextCycle(), " predates processed cycle ",
+                queue.lastRunCycle());
+        }
+    });
 }
 
 } // namespace mmr

@@ -25,6 +25,8 @@
 namespace mmr
 {
 
+class InvariantChecker;
+
 /** Interface for anything ticked by the kernel. */
 class Clocked
 {
@@ -53,6 +55,10 @@ class Kernel
     Cycle now() const { return currentCycle; }
 
     EventQueue &events() { return queue; }
+
+    /** Register the kernel's own invariants (event-queue time
+     * monotonicity) with an auditor. */
+    void registerInvariants(InvariantChecker &chk) const;
 
     std::size_t componentCount() const { return components.size(); }
 

@@ -61,6 +61,47 @@ TEST(Credits, ResetRestoresInitial)
     EXPECT_EQ(cm.credits(0, 0), 4u);
 }
 
+TEST(Credits, LedgerCountsConsumeAndReplenish)
+{
+    CreditManager cm(1, 2, 3);
+    cm.consume(0, 0);
+    cm.consume(0, 0);
+    cm.consume(0, 1);
+    cm.replenish(0, 0);
+    EXPECT_EQ(cm.consumedCount(), 3u);
+    EXPECT_EQ(cm.replenishedCount(), 1u);
+    cm.audit(); // outstanding (2) == consumed (3) - replenished (1)
+}
+
+TEST(Credits, AuditSurvivesResetReclaim)
+{
+    CreditManager cm(1, 1, 4);
+    cm.consume(0, 0);
+    cm.consume(0, 0);
+    cm.reset(0, 0); // reclaims the 2 outstanding credits
+    cm.audit();     // ledger must account for the reclaim
+    cm.consume(0, 0);
+    cm.audit();
+}
+
+TEST(Credits, AuditWithHonestCensusPasses)
+{
+    CreditManager cm(2, 2, 3);
+    cm.consume(1, 0);
+    cm.consume(1, 0);
+    cm.audit([](PortId p, VcId v) -> unsigned {
+        return (p == 1 && v == 0) ? 2u : 0u;
+    });
+}
+
+TEST(CreditsDeath, AuditCatchesLyingCensus)
+{
+    CreditManager cm(1, 1, 3);
+    cm.consume(0, 0);
+    EXPECT_DEATH(cm.audit([](PortId, VcId) { return 3u; }),
+                 "credit-ledger");
+}
+
 TEST(CreditsDeath, OverConsumePanics)
 {
     CreditManager cm(1, 1, 1);

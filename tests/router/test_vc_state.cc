@@ -167,7 +167,33 @@ TEST(VcStateDeath, ReleaseWithFlitsPanics)
 TEST(VcStateDeath, PopEmptyPanics)
 {
     VcState vc;
+    vc.bindBestEffort(1);
     EXPECT_DEATH(vc.pop(), "empty");
+}
+
+TEST(VcStateDeath, PopUnboundPanics)
+{
+    VcState vc;
+    EXPECT_DEATH(vc.pop(), "unbound");
+}
+
+TEST(VcStateDeath, HeadEmptyPanics)
+{
+    VcState vc;
+    vc.bindCbr(1, 1, 10.0);
+    EXPECT_DEATH(vc.head(), "empty");
+}
+
+TEST(VcStateDeath, HeadUnboundPanics)
+{
+    VcState vc;
+    EXPECT_DEATH(vc.head(), "unbound");
+}
+
+TEST(VcStateDeath, PushUnboundPanics)
+{
+    VcState vc;
+    EXPECT_DEATH(vc.push(makeFlit(3)), "unbound");
 }
 
 TEST(VcStateDeath, VbrPeakBelowPermPanics)

@@ -73,6 +73,49 @@ TEST(EventQueue, CancelAfterFireIsNoop)
     EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, CancelAfterFireKeepsPendingEventsAlive)
+{
+    // Regression: cancelling an already-fired event used to corrupt
+    // the live count, making the queue report empty while an event
+    // was still pending.
+    EventQueue q;
+    int fired = 0;
+    const auto early = q.schedule(1, [&] { ++fired; });
+    q.schedule(7, [&] { ++fired; });
+    q.runUntil(2);
+    q.cancel(early);
+    EXPECT_FALSE(q.empty());
+    EXPECT_EQ(q.pendingCount(), 1u);
+    EXPECT_EQ(q.nextCycle(), 7u);
+    q.runUntil(10);
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DoubleCancelIsNoop)
+{
+    EventQueue q;
+    int fired = 0;
+    const auto id = q.schedule(2, [&] { ++fired; });
+    q.schedule(2, [&] { ++fired; });
+    q.cancel(id);
+    q.cancel(id);
+    EXPECT_EQ(q.pendingCount(), 1u);
+    q.runUntil(5);
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TracksLastRunCycle)
+{
+    EventQueue q;
+    EXPECT_EQ(q.lastRunCycle(), 0u);
+    q.runUntil(42);
+    EXPECT_EQ(q.lastRunCycle(), 42u);
+    q.runUntil(42); // re-running the same cycle is legal
+    EXPECT_EQ(q.lastRunCycle(), 42u);
+}
+
 TEST(EventQueue, EventsCanScheduleEvents)
 {
     EventQueue q;
