@@ -44,7 +44,28 @@ struct SweepOptions
     Cycle measureCycles = 100000;
     std::uint64_t seed = 42;
     WorkloadMix mix;
+    /** Shared observability outputs; each run of a sweep rewrites the
+     * file paths with a "<label>-<load>" suffix so points do not
+     * clobber each other. */
+    ObsConfig obs;
+    /** Print cycles/sec + events/sec per point to stderr. */
+    bool printThroughput = false;
 };
+
+/** Per-run observability config: suffix every output path. */
+inline ObsConfig
+obsForRun(const ObsConfig &shared, const std::string &label, double load)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", load);
+    const std::string suffix = label + "-" + buf;
+    ObsConfig c = shared;
+    c.tracePath = obsPathWithSuffix(c.tracePath, suffix);
+    c.statsJsonPath = obsPathWithSuffix(c.statsJsonPath, suffix);
+    c.statsCsvPath = obsPathWithSuffix(c.statsCsvPath, suffix);
+    c.vcdPath = obsPathWithSuffix(c.vcdPath, suffix);
+    return c;
+}
 
 /** Run one series over the load grid. */
 inline std::vector<ExperimentResult>
@@ -62,9 +83,19 @@ runSweep(const Series &series, const std::vector<double> &loads,
         cfg.measureCycles = opts.measureCycles;
         cfg.seed = opts.seed;
         cfg.mix = opts.mix;
+        cfg.obs = obsForRun(opts.obs, series.label, load);
         results.push_back(runSingleRouter(cfg));
-        std::fprintf(stderr, "  %-16s load %.2f done\n",
-                     series.label.c_str(), load);
+        const SimProfile &prof = results.back().profile;
+        if (opts.printThroughput) {
+            std::fprintf(stderr,
+                         "  %-16s load %.2f done (%.0f cycles/s, "
+                         "%.0f events/s)\n",
+                         series.label.c_str(), load,
+                         prof.cyclesPerSec(), prof.eventsPerSec());
+        } else {
+            std::fprintf(stderr, "  %-16s load %.2f done\n",
+                         series.label.c_str(), load);
+        }
     }
     return results;
 }
@@ -93,6 +124,7 @@ printFigure(const std::string &name,
     }
     t.print(std::cout);
     t.printCsv(std::cout, name);
+    t.printJson(std::cout, name);
 }
 
 /** Standard sweep flags shared by the figure benches. */
@@ -103,6 +135,9 @@ addSweepFlags(Cli &cli)
     cli.flag("warmup", "20000", "warm-up flit cycles per point");
     cli.flag("seed", "42", "workload seed");
     cli.flag("loads", "", "comma-separated loads (default: paper grid)");
+    cli.flag("throughput", "0",
+             "print simulator cycles/sec + events/sec per point");
+    addObsFlags(cli);
 }
 
 inline SweepOptions
@@ -112,6 +147,9 @@ sweepOptions(const Cli &cli)
     o.measureCycles = static_cast<Cycle>(cli.integer("measure"));
     o.warmupCycles = static_cast<Cycle>(cli.integer("warmup"));
     o.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+    o.obs = obsConfigFromCli(cli);
+    o.printThroughput = cli.boolean("throughput") ||
+                        o.obs.profileComponents;
     return o;
 }
 

@@ -20,8 +20,10 @@
  *             --fail-link=5,6
  */
 
+#include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -30,12 +32,29 @@
 #include "harness/single_router.hh"
 #include "network/interface.hh"
 #include "network/network.hh"
+#include "obs/obs_config.hh"
+#include "obs/profiler.hh"
 #include "sim/kernel.hh"
 
 namespace
 {
 
 using namespace mmr;
+
+/** Write --profile-json and, when asked, print the profile summary. */
+void
+reportProfile(const Cli &cli, const SimProfile &prof)
+{
+    const std::string path = cli.str("profile-json");
+    if (!path.empty()) {
+        std::ofstream os(path);
+        if (!os)
+            mmr_fatal("cannot open profile output '", path, "'");
+        writeProfileJson(os, prof);
+    }
+    if (cli.boolean("profile") || !path.empty())
+        printProfile(std::cerr, prof);
+}
 
 Topology
 parseTopology(const std::string &spec, Rng &rng)
@@ -94,8 +113,10 @@ runRouterMode(const Cli &cli)
     cfg.mix.abortLateFrames = cli.boolean("abort-late");
     cfg.mix.vbrProfile.framesPerSecond = cli.real("fps");
     cfg.mix.vbrProfile.peakToMean = cli.real("peak");
+    cfg.obs = obsConfigFromCli(cli);
 
     const ExperimentResult r = runSingleRouter(cfg);
+    reportProfile(cli, r.profile);
     const double ns = cfg.router.flitCycleNanos();
 
     Table t({"metric", "value"});
@@ -146,7 +167,17 @@ runNetworkMode(const Cli &cli)
     ncfg.seed = seed;
     Network net(topo, ncfg);
     Kernel kernel;
-    kernel.add(&net);
+    kernel.add(&net, "network");
+
+    const ObsConfig ocfg = obsConfigFromCli(cli);
+    ObsSession obs(ocfg);
+    if (ocfg.enabled()) {
+        net.registerStats(obs.registry(),
+                          ocfg.perVcStats
+                              ? MmrRouter::StatsDetail::PerVc
+                              : MmrRouter::StatsDetail::Aggregate);
+        obs.attach(kernel);
+    }
 
     std::vector<std::unique_ptr<NetworkInterface>> hosts;
     for (NodeId n = 0; n < topo.numNodes(); ++n) {
@@ -190,6 +221,7 @@ runNetworkMode(const Cli &cli)
     const Cycle fail_at = cycles / 2;
     bool failed = false;
 
+    const auto wall_start = std::chrono::steady_clock::now();
     for (Cycle t = 0; t < cycles; ++t) {
         if (!failed && fail.size() == 2 && t == fail_at) {
             const NodeId a = static_cast<NodeId>(std::stoul(fail[0]));
@@ -203,6 +235,14 @@ runNetworkMode(const Cli &cli)
             h->tick(kernel.now());
         kernel.step();
     }
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    obs.finish(kernel.now());
+    reportProfile(cli, collectProfile(kernel, wall_seconds,
+                                      net.flitsDelivered() +
+                                          net.datagramsSent()));
 
     unsigned streams = 0, lost = 0, reest = 0;
     for (auto &h : hosts) {
@@ -268,6 +308,10 @@ main(int argc, char **argv)
         cli.flag("topology", "mesh3x3",
                  "meshWxH | torusWxH | ringN | irregularN");
         cli.flag("fail-link", "", "a,b: fail this link mid-run");
+        // observability
+        addObsFlags(cli);
+        cli.flag("profile-json", "",
+                 "write the run's throughput profile as JSON");
         if (!cli.parse(argc, argv))
             return 0;
 

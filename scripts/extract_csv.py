@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
-"""Extract the machine-readable CSV blocks from bench output.
+"""Extract the machine-readable blocks from bench output.
 
-Every bench binary prints its plotted series between
-``# begin-csv <name>`` and ``# end-csv`` markers.  This script pulls
-those blocks out of one or more bench output files (or stdin) and
-writes each as ``<outdir>/<name>.csv``, ready for any plotting tool.
+Every bench binary prints its plotted series twice: between
+``# begin-csv <name>`` / ``# end-csv`` markers as CSV, and between
+``# begin-json <name>`` / ``# end-json`` markers as a JSON list of row
+objects.  This script pulls both kinds of block out of one or more
+bench output files (or stdin) and writes each as
+``<outdir>/<name>.csv`` or ``<outdir>/<name>.json``, ready for any
+plotting tool.  JSON blocks are validated before being written so a
+malformed emitter fails loudly here rather than in a plotting script.
 
 Usage:
     ./build/bench/fig4_delay | scripts/extract_csv.py -o plots/
@@ -12,29 +16,48 @@ Usage:
 """
 
 import argparse
+import json
 import pathlib
 import sys
+
+FORMATS = {
+    "csv": ("# begin-csv ", "# end-csv"),
+    "json": ("# begin-json ", "# end-json"),
+}
 
 
 def extract(stream, outdir: pathlib.Path) -> list:
     written = []
-    name, rows = None, []
+    fmt, name, rows = None, None, []
     for raw in stream:
         line = raw.rstrip("\n")
-        if line.startswith("# begin-csv "):
-            name = line[len("# begin-csv "):].strip()
-            rows = []
-        elif line.startswith("# end-csv"):
-            if name is None:
-                sys.exit("error: '# end-csv' without '# begin-csv'")
-            path = outdir / f"{name}.csv"
-            path.write_text("\n".join(rows) + "\n")
-            written.append(path)
-            name = None
-        elif name is not None:
+        started = False
+        for kind, (begin, end) in FORMATS.items():
+            if line.startswith(begin):
+                if name is not None:
+                    sys.exit(f"error: nested block '{line}' inside "
+                             f"'{name}'")
+                fmt, name, rows = kind, line[len(begin):].strip(), []
+                started = True
+            elif fmt == kind and line.startswith(end):
+                if name is None:
+                    sys.exit(f"error: '{end}' without '{begin}'")
+                body = "\n".join(rows) + "\n"
+                if kind == "json":
+                    try:
+                        json.loads(body)
+                    except json.JSONDecodeError as e:
+                        sys.exit(f"error: block '{name}' is not valid "
+                                 f"JSON: {e}")
+                path = outdir / f"{name}.{kind}"
+                path.write_text(body)
+                written.append(path)
+                fmt, name = None, None
+                started = True
+        if not started and name is not None:
             rows.append(line)
     if name is not None:
-        sys.exit(f"error: unterminated csv block '{name}'")
+        sys.exit(f"error: unterminated {fmt} block '{name}'")
     return written
 
 
@@ -43,7 +66,7 @@ def main() -> None:
     parser.add_argument("inputs", nargs="*",
                         help="bench output files (default: stdin)")
     parser.add_argument("-o", "--outdir", default=".",
-                        help="directory for the .csv files")
+                        help="directory for the extracted files")
     args = parser.parse_args()
 
     outdir = pathlib.Path(args.outdir)
@@ -60,7 +83,7 @@ def main() -> None:
     for path in written:
         print(f"wrote {path}")
     if not written:
-        print("no csv blocks found", file=sys.stderr)
+        print("no csv/json blocks found", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Record or check the simulator throughput baseline.
+
+Runs the Figure 4 configuration (8x8 router, 256 VCs/port, biased
+scheduler with 8 candidates, 70% offered CBR load) through
+``examples/mmr_sim --profile-json`` several times and writes the best
+run's cycles/sec + events/sec to ``BENCH_throughput.json``.  A
+committed reference lives in ``results/BENCH_throughput.json`` so a
+performance PR can prove itself:
+
+    scripts/perf_baseline.py --build build                # record
+    scripts/perf_baseline.py --build build --check \\
+        --baseline results/BENCH_throughput.json          # compare
+
+``--check`` exits non-zero when cycles/sec regresses by more than
+``--tolerance`` (default 20%, generous because CI machines vary).
+Wall-clock numbers are inherently machine-dependent: regenerate the
+committed baseline when touching it, on an otherwise idle machine.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+FIG4_ARGS = [
+    "--mode=router",
+    "--ports=8",
+    "--vcs=256",
+    "--sched=biased",
+    "--candidates=8",
+    "--load=0.70",
+    "--warmup=20000",
+    "--cycles=100000",
+    "--seed=42",
+]
+
+
+def run_once(sim: pathlib.Path, profile_path: pathlib.Path) -> dict:
+    cmd = [str(sim), *FIG4_ARGS, f"--profile-json={profile_path}"]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
+                   stderr=subprocess.DEVNULL)
+    return json.loads(profile_path.read_text())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", default="build",
+                        help="build directory containing examples/mmr_sim")
+    parser.add_argument("-o", "--output", default="BENCH_throughput.json",
+                        help="where to write the recorded baseline")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs to take (best run is recorded)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against --baseline instead of "
+                             "overwriting it")
+    parser.add_argument("--baseline",
+                        default="results/BENCH_throughput.json",
+                        help="reference file for --check")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional cycles/sec regression")
+    args = parser.parse_args()
+
+    sim = pathlib.Path(args.build) / "examples" / "mmr_sim"
+    if not sim.exists():
+        sys.exit(f"error: {sim} not found (build the project first)")
+
+    profile_path = pathlib.Path(args.output).with_suffix(".tmp.json")
+    best = None
+    for i in range(max(1, args.repeat)):
+        prof = run_once(sim, profile_path)
+        print(f"run {i + 1}/{args.repeat}: "
+              f"{prof['cycles_per_sec']:.0f} cycles/s, "
+              f"{prof['events_per_sec']:.0f} events/s")
+        if best is None or prof["cycles_per_sec"] > best["cycles_per_sec"]:
+            best = prof
+    profile_path.unlink(missing_ok=True)
+
+    record = {
+        "config": "fig4: 8x8 router, 256 VCs/port, biased 8C, "
+                  "70% CBR load, 100k measured cycles",
+        "args": FIG4_ARGS,
+        "cycles": best["cycles"],
+        "events": best["events"],
+        "cycles_per_sec": best["cycles_per_sec"],
+        "events_per_sec": best["events_per_sec"],
+    }
+
+    if args.check:
+        ref = json.loads(pathlib.Path(args.baseline).read_text())
+        floor = ref["cycles_per_sec"] * (1.0 - args.tolerance)
+        print(f"baseline {ref['cycles_per_sec']:.0f} cycles/s, "
+              f"measured {best['cycles_per_sec']:.0f}, "
+              f"floor {floor:.0f}")
+        if best["cycles_per_sec"] < floor:
+            print("FAIL: simulator throughput regressed beyond "
+                  f"{args.tolerance:.0%}", file=sys.stderr)
+            return 1
+        print("OK: within tolerance")
+        return 0
+
+    pathlib.Path(args.output).write_text(
+        json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,17 +6,66 @@
  *            aborts so a debugger/core dump can capture the state.
  * fatal()  — the user asked for something impossible (bad configuration);
  *            exits with an error code.
- * warn()/inform() — non-fatal status output.
+ * warn()/inform()/debug() — leveled status output routed through a
+ *            replaceable sink.
+ *
+ * Messages carry a severity (LogLevel) and are filtered against
+ * log::level() before formatting reaches the sink; the threshold
+ * defaults to Info and can be overridden with the MMR_LOG_LEVEL
+ * environment variable (debug | info | warn | silent).  When a
+ * simulation kernel is running, the default sink timestamps each line
+ * with the current flit cycle ("[cycle 1234] warn: ...") so log output
+ * can be correlated with trace events.
  */
 
 #ifndef MMR_BASE_LOGGING_HH
 #define MMR_BASE_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace mmr
 {
+
+/** Message severities, in increasing order of importance. */
+enum class LogLevel
+{
+    Debug,  ///< high-volume diagnostics (off by default)
+    Info,   ///< inform(): normal status output
+    Warn,   ///< warn(): suspicious but recoverable
+    Silent  ///< threshold-only value: suppress everything
+};
+
+const char *to_string(LogLevel l);
+
+namespace log
+{
+
+/** Receives every message that passes the level filter. */
+using SinkFn = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Current threshold: messages below it are discarded before
+ * formatting hits the sink.  Initialized from MMR_LOG_LEVEL (debug |
+ * info | warn | silent, case-insensitive) on first use, default Info.
+ */
+LogLevel level();
+
+/** Override the threshold (wins over MMR_LOG_LEVEL). */
+void setLevel(LogLevel l);
+
+bool enabled(LogLevel l);
+
+/**
+ * Replace the output sink (nullptr restores the default stderr
+ * sink, which prefixes the severity and — when a kernel is running —
+ * the current flit cycle).  Returns the previous sink so tests can
+ * restore it.
+ */
+SinkFn setSink(SinkFn sink);
+
+} // namespace log
 
 namespace detail
 {
@@ -27,6 +76,7 @@ namespace detail
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
 
 /** Fold a parameter pack into one string via operator<<. */
 template <typename... Args>
@@ -40,7 +90,8 @@ concat(Args &&...args)
 
 } // namespace detail
 
-/** Number of warnings emitted so far (exposed for tests). */
+/** Number of warnings emitted so far (exposed for tests).  Counts
+ * every warn() call, including those filtered by the level. */
 unsigned warnCount();
 
 } // namespace mmr
@@ -57,7 +108,21 @@ unsigned warnCount();
     ::mmr::detail::warnImpl(::mmr::detail::concat(__VA_ARGS__))
 
 #define mmr_inform(...) \
-    ::mmr::detail::informImpl(::mmr::detail::concat(__VA_ARGS__))
+    do { \
+        if (::mmr::log::enabled(::mmr::LogLevel::Info)) { \
+            ::mmr::detail::informImpl( \
+                ::mmr::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Level-gated before formatting: free when Debug is filtered. */
+#define mmr_debug(...) \
+    do { \
+        if (::mmr::log::enabled(::mmr::LogLevel::Debug)) { \
+            ::mmr::detail::debugImpl( \
+                ::mmr::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
 
 /** panic() unless the stated internal invariant holds. */
 #define mmr_assert(cond, ...) \

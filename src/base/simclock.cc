@@ -1,0 +1,38 @@
+#include "base/simclock.hh"
+
+namespace mmr::simclock
+{
+
+namespace
+{
+Cycle current = 0;
+bool isActive = false;
+} // namespace
+
+void
+set(Cycle now_)
+{
+    current = now_;
+    isActive = true;
+}
+
+void
+clear()
+{
+    current = 0;
+    isActive = false;
+}
+
+bool
+active()
+{
+    return isActive;
+}
+
+Cycle
+now()
+{
+    return current;
+}
+
+} // namespace mmr::simclock

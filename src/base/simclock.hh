@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Global "what cycle is it" hook.
+ *
+ * Several cross-cutting services want the current simulated cycle
+ * without threading it through every call site: the leveled logger
+ * stamps messages with the cycle they were emitted at, and the event
+ * tracer timestamps management-plane events (connection setup,
+ * admission decisions) that happen outside the Clocked tick.  The
+ * kernel publishes its cycle counter here each step; anything may
+ * read it.  Purely simulation-deterministic (no wall clock involved).
+ */
+
+#ifndef MMR_BASE_SIMCLOCK_HH
+#define MMR_BASE_SIMCLOCK_HH
+
+#include "base/types.hh"
+
+namespace mmr::simclock
+{
+
+/** Publish the current cycle (called by the kernel every step). */
+void set(Cycle now);
+
+/** Forget the published cycle (kernel destroyed / tests). */
+void clear();
+
+/** True once a kernel has published at least one cycle. */
+bool active();
+
+/** Last published cycle; 0 when no kernel is active. */
+Cycle now();
+
+} // namespace mmr::simclock
+
+#endif // MMR_BASE_SIMCLOCK_HH

@@ -1,7 +1,10 @@
 #include "base/table.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -73,6 +76,78 @@ Table::printCsv(std::ostream &os, const std::string &name) const
         for (std::size_t c = 0; c < cols.size(); ++c)
             os << row[c] << (c + 1 < cols.size() ? "," : "\n");
     os << "# end-csv\n";
+}
+
+namespace
+{
+
+/** True when the whole cell parses as a finite JSON-legal number. */
+bool
+isNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size())
+        return false;
+    return v == v && v != std::numeric_limits<double>::infinity() &&
+           v != -std::numeric_limits<double>::infinity();
+}
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char ch : s) {
+        switch (ch) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(ch));
+                os << buf;
+            } else {
+                os << ch;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+Table::printJson(std::ostream &os, const std::string &name) const
+{
+    os << "# begin-json " << name << "\n[\n";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        os << "  {";
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+            jsonEscape(os, cols[c]);
+            os << ": ";
+            if (isNumeric(rows[r][c]))
+                os << rows[r][c];
+            else
+                jsonEscape(os, rows[r][c]);
+            if (c + 1 < cols.size())
+                os << ", ";
+        }
+        os << (r + 1 < rows.size() ? "},\n" : "}\n");
+    }
+    os << "]\n# end-json\n";
 }
 
 const std::string &

@@ -36,6 +36,15 @@ class Table
     /** Render as a named CSV block. */
     void printCsv(std::ostream &os, const std::string &name) const;
 
+    /**
+     * Render as a named JSON block ("# begin-json <name>" / "#
+     * end-json" markers): a list of row objects keyed by column
+     * header.  Cells that parse as numbers are emitted as numbers,
+     * everything else as strings; scripts/extract_csv.py understands
+     * both block formats.
+     */
+    void printJson(std::ostream &os, const std::string &name) const;
+
     std::size_t numRows() const { return rows.size(); }
     std::size_t numCols() const { return cols.size(); }
     const std::string &cell(std::size_t r, std::size_t c) const;

@@ -1,10 +1,13 @@
 #include "harness/single_router.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "base/logging.hh"
+#include "base/simclock.hh"
 #include "metrics/steady_state.hh"
+#include "obs/obs_config.hh"
 #include "sim/kernel.hh"
 #include "traffic/rates.hh"
 
@@ -249,8 +252,6 @@ SingleRouterExperiment::injectArrivals(Cycle now)
 ExperimentResult
 SingleRouterExperiment::run()
 {
-    buildWorkload();
-
     Kernel kernel;
     kernel.add(dut.get(), "router");
     // The auditor ticks after the router so every cycle's committed
@@ -258,6 +259,33 @@ SingleRouterExperiment::run()
     dut->registerInvariants(auditor);
     kernel.registerInvariants(auditor);
     kernel.add(&auditor, "invariants");
+
+    // Observability: register every stat before the sampler attaches
+    // (its column set is frozen at construction), and attach before
+    // the workload builds so admission / VC-allocation setup events
+    // land in the trace (at cycle 0).
+    ObsSession obs(cfg.obs);
+    if (cfg.obs.enabled()) {
+        dut->registerStats(obs.registry(), "router0.",
+                           cfg.obs.perVcStats
+                               ? MmrRouter::StatsDetail::PerVc
+                               : MmrRouter::StatsDetail::PerPort);
+        obs.registry().addGauge("harness.measured_flits", [this] {
+            return static_cast<double>(recorder.measuredFlits());
+        });
+        obs.registry().addGauge("harness.mean_delay_cycles", [this] {
+            return recorder.meanDelayCycles();
+        });
+        obs.attach(kernel);
+    }
+
+    // Setup happens "at" the kernel's current cycle (0): publish it so
+    // the admission/VC-allocation trace events and any setup-time log
+    // lines are stamped deterministically.
+    simclock::set(kernel.now());
+    buildWorkload();
+
+    const auto wall_start = std::chrono::steady_clock::now();
 
     Cycle warmup = cfg.warmupCycles;
     if (cfg.autoWarmup) {
@@ -286,7 +314,16 @@ SingleRouterExperiment::run()
         kernel.step();
     }
 
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    obs.finish(kernel.now());
+
     ExperimentResult r;
+    r.profile = collectProfile(kernel, wall_seconds,
+                               dut->flitsInjected() +
+                                   dut->flitsForwarded());
     r.warmupUsed = warmup;
     r.offeredLoad = cfg.offeredLoad;
     r.achievedLoad =

@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "metrics/recorder.hh"
+#include "obs/obs_config.hh"
+#include "obs/profiler.hh"
 #include "router/router.hh"
 #include "sim/invariant.hh"
 #include "traffic/besteffort_source.hh"
@@ -75,6 +77,10 @@ struct ExperimentConfig
     bool autoWarmup = false;
     Cycle warmupWindow = 2000;   ///< detector window (cycles)
     Cycle maxWarmupCycles = 200000;
+
+    /** Observability outputs (tracing, sampling, profiling); the
+     * default is fully off and costs nothing. */
+    ObsConfig obs;
 };
 
 /** Per-service-class aggregate results. */
@@ -121,6 +127,10 @@ struct ExperimentResult
     ClassResult bestEffort;
 
     double flitCycleNanos = 0.0;
+
+    /** Simulator throughput (wall-clock; excluded from resultDigest —
+     * wall time is inherently nondeterministic). */
+    SimProfile profile;
 };
 
 class SingleRouterExperiment

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/simclock.hh"
+#include "obs/trace.hh"
 #include "traffic/rates.hh"
 
 namespace mmr
@@ -219,8 +221,10 @@ Network::handleCreditReturn(NodeId n, PortId in, VcId vc, Cycle now)
 void
 Network::deliverToHost(NodeId n, const Flit &f, Cycle now)
 {
-    (void)n;
     ++statDelivered;
+    MMR_TRACE_INSTANT(TraceCat::Flit, "e2e_deliver", now, n, f.conn,
+                      static_cast<std::int32_t>(f.src),
+                      static_cast<std::int32_t>(now - f.createTime));
     if (f.klass == TrafficClass::BestEffort ||
         f.klass == TrafficClass::Control)
         ++statDatagramsDone;
@@ -309,6 +313,10 @@ Network::finishSetup(const SetupRequest &req, const SetupResult &sr,
         out.setupLatencyCycles =
             cfg.probeHopCycles *
             static_cast<double>(sr.forwardSteps + sr.backtrackSteps);
+        MMR_TRACE_INSTANT(TraceCat::Setup, "setup_reject",
+                          simclock::now(), req.src, kInvalidConn,
+                          static_cast<std::int32_t>(req.dst),
+                          static_cast<std::int32_t>(sr.backtrackSteps));
         return out;
     }
 
@@ -324,6 +332,10 @@ Network::finishSetup(const SetupRequest &req, const SetupResult &sr,
         cfg.probeHopCycles *
         static_cast<double>(sr.forwardSteps + sr.backtrackSteps +
                             sr.hops.size());
+    MMR_TRACE_INSTANT(TraceCat::Setup, "setup_accept", simclock::now(),
+                      req.src, id,
+                      static_cast<std::int32_t>(req.dst),
+                      static_cast<std::int32_t>(out.pathLength));
     return out;
 }
 
@@ -390,6 +402,12 @@ Network::onTimedSetupComplete(const TimedSetup &s)
             out.pathLength = static_cast<unsigned>(s.hops.size());
         }
     }
+    MMR_TRACE_INSTANT(TraceCat::Setup,
+                      out.accepted ? "probe_established"
+                                   : "probe_failed",
+                      s.finishedAt, s.request.src, out.id,
+                      static_cast<std::int32_t>(s.request.dst),
+                      static_cast<std::int32_t>(out.setupCycles));
     timedDone.emplace(s.token, out);
 }
 
@@ -594,6 +612,8 @@ Network::sendDatagram(NodeId src, NodeId dst, TrafficClass klass,
                    klass == TrafficClass::Control,
                "datagrams are best-effort or control packets");
     ++statDatagramsSent;
+    MMR_TRACE_INSTANT(TraceCat::Flit, "dgram_send", now, src, flow,
+                      static_cast<std::int32_t>(dst));
 
     Flit f;
     f.conn = flow;
@@ -780,6 +800,39 @@ Network::advance(Cycle now)
 {
     for (auto &r : routers)
         r->advance(now);
+}
+
+// ---------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------
+
+void
+Network::registerStats(StatsRegistry &reg, MmrRouter::StatsDetail detail)
+{
+    reg.addCounter("net.flits.delivered", &statDelivered);
+    reg.addCounter("net.flits.lost", &statLostFlits);
+    reg.addCounter("net.inject_rejects", &statInjectRejects);
+    reg.addCounter("net.datagrams.sent", &statDatagramsSent);
+    reg.addCounter("net.datagrams.delivered", &statDatagramsDone);
+    reg.addCounter("net.datagrams.drops", &statDatagramDrops);
+    reg.addCounter("net.connections.failed", &statConnsFailed);
+    reg.addGauge("net.connections.open", [this] {
+        return static_cast<double>(pcs.size());
+    });
+    reg.addGauge("net.setups.pending", [this] {
+        return static_cast<double>(probeMgr->inFlight());
+    });
+    reg.addGauge("net.link_queue.depth", [this] {
+        return static_cast<double>(linkQueue.size());
+    });
+    reg.addGauge("net.datagrams.pending", [this] {
+        return static_cast<double>(pendingArrivals.size());
+    });
+
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        routers[n]->registerStats(
+            reg, "router" + std::to_string(n) + ".", detail);
+    }
 }
 
 } // namespace mmr

@@ -207,6 +207,20 @@ class Network : public Clocked
     }
     std::uint64_t injectRejects() const { return statInjectRejects; }
 
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /**
+     * Register network-level statistics plus every router's stats
+     * (prefixed "router<N>.") into @p reg.  Per-router detail defaults
+     * to aggregate counters to keep the column count manageable on
+     * large topologies.
+     */
+    void registerStats(
+        StatsRegistry &reg,
+        MmrRouter::StatsDetail detail = MmrRouter::StatsDetail::Aggregate);
+
   private:
     struct PcsConnection
     {

@@ -1,0 +1,161 @@
+#include "obs/obs_config.hh"
+
+#include "base/cli.hh"
+#include "base/logging.hh"
+#include "sim/kernel.hh"
+
+namespace mmr
+{
+
+ObsSession::ObsSession(const ObsConfig &c) : cfg(c) {}
+
+ObsSession::~ObsSession()
+{
+    // Deliberately no auto-finish: writing files is an explicit act
+    // (the caller knows the final cycle); the tracer detaches itself.
+}
+
+void
+ObsSession::attach(Kernel &kernel)
+{
+    mmr_assert(!attached, "observability session attached twice");
+    attached = true;
+    if (!cfg.enabled())
+        return;
+
+    if (cfg.wantsSampler()) {
+        const Cycle period =
+            cfg.samplePeriod > 0 ? cfg.samplePeriod : 1000;
+        sampl = std::make_unique<StatsSampler>(stats, period,
+                                               cfg.sampleStats);
+        if (!cfg.vcdPath.empty()) {
+            vcdStream = std::make_unique<std::ofstream>(cfg.vcdPath);
+            if (!*vcdStream)
+                mmr_fatal("cannot open VCD output '", cfg.vcdPath, "'");
+            vcd = std::make_unique<VcdWriter>(*vcdStream);
+            sampl->attachVcd(vcd.get());
+        }
+        kernel.add(sampl.get(), "obs-sampler");
+    }
+
+    if (cfg.wantsTrace()) {
+        trace = std::make_unique<Tracer>(cfg.traceMaxEvents);
+        trace->setCategoryMask(traceCatMaskFromString(cfg.traceCats));
+        trace->setCycleRange(cfg.traceFrom, cfg.traceTo);
+        trace->activate();
+    }
+
+    if (cfg.profileComponents)
+        kernel.enableProfiling(true);
+}
+
+void
+ObsSession::finish(Cycle now)
+{
+    if (finished || !cfg.enabled())
+        return;
+    finished = true;
+
+    if (sampl != nullptr) {
+        // Cover the tail: the last sample may predate the final cycle.
+        if (sampl->totalSamples() == 0 ||
+            sampl->sampleCycle(sampl->storedSamples() - 1) != now)
+            sampl->sampleNow(now);
+    }
+
+    if (trace != nullptr) {
+        trace->deactivate();
+        std::ofstream os(cfg.tracePath);
+        if (!os)
+            mmr_fatal("cannot open trace output '", cfg.tracePath, "'");
+        trace->writeChromeJson(os);
+    }
+
+    if (!cfg.statsJsonPath.empty()) {
+        std::ofstream os(cfg.statsJsonPath);
+        if (!os)
+            mmr_fatal("cannot open stats output '", cfg.statsJsonPath,
+                      "'");
+        os << "{\n\"final\": ";
+        stats.dumpJson(os);
+        os << ",\n\"series\": ";
+        if (sampl != nullptr)
+            sampl->dumpJson(os);
+        else
+            os << "null\n";
+        os << "}\n";
+    }
+
+    if (!cfg.statsCsvPath.empty()) {
+        mmr_assert(sampl != nullptr, "stats CSV requires the sampler");
+        std::ofstream os(cfg.statsCsvPath);
+        if (!os)
+            mmr_fatal("cannot open stats output '", cfg.statsCsvPath,
+                      "'");
+        sampl->dumpCsv(os);
+    }
+
+    if (vcd != nullptr)
+        vcd->finish();
+    if (vcdStream != nullptr)
+        vcdStream->close();
+}
+
+void
+addObsFlags(Cli &cli)
+{
+    cli.flag("trace", "", "Chrome trace-event JSON output file");
+    cli.flag("trace-cats", "",
+             "trace categories (flit,sched,admission,credit,setup,"
+             "control; default all)");
+    cli.flag("trace-from", "0", "first cycle to trace");
+    cli.flag("trace-to", "0", "last cycle to trace (0 = unbounded)");
+    cli.flag("stats-json", "", "stats registry + series JSON output");
+    cli.flag("stats-csv", "", "sampled stats CSV output");
+    cli.flag("vcd", "", "sampled stats as VCD waveforms");
+    cli.flag("sample-every", "0",
+             "sample the stats registry every N cycles (0 = only when "
+             "a stats/VCD output needs it)");
+    cli.flag("sample-stats", "",
+             "stat selection patterns for the sampler (prefix. or "
+             "prefix*; default all)");
+    cli.flag("stats-per-vc", "0",
+             "register per-VC occupancy gauges (wide output)");
+    cli.flag("profile", "0",
+             "attribute wall time to kernel components");
+}
+
+ObsConfig
+obsConfigFromCli(const Cli &cli)
+{
+    ObsConfig c;
+    c.tracePath = cli.str("trace");
+    c.traceCats = cli.str("trace-cats");
+    c.traceFrom = static_cast<Cycle>(cli.integer("trace-from"));
+    const auto to = static_cast<Cycle>(cli.integer("trace-to"));
+    if (to > 0)
+        c.traceTo = to;
+    c.statsJsonPath = cli.str("stats-json");
+    c.statsCsvPath = cli.str("stats-csv");
+    c.vcdPath = cli.str("vcd");
+    c.samplePeriod = static_cast<Cycle>(cli.integer("sample-every"));
+    c.sampleStats = cli.list("sample-stats");
+    c.perVcStats = cli.boolean("stats-per-vc");
+    c.profileComponents = cli.boolean("profile");
+    return c;
+}
+
+std::string
+obsPathWithSuffix(const std::string &path, const std::string &suffix)
+{
+    if (path.empty() || suffix.empty())
+        return path;
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + "-" + suffix;
+    return path.substr(0, dot) + "-" + suffix + path.substr(dot);
+}
+
+} // namespace mmr

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * One-stop configuration + lifetime management for the observability
+ * layer, shared by the experiment harness, the bench binaries and the
+ * example front ends.
+ *
+ * ObsConfig is plain data filled from CLI flags (--trace=,
+ * --stats-json=, --sample-every=, --vcd=, ...).  ObsSession owns the
+ * live objects the config asks for — stats registry, sampler, tracer,
+ * VCD stream — wires the sampler into a kernel, and writes every
+ * requested file in finish().  A default-constructed ObsConfig makes
+ * ObsSession a no-op: nothing is allocated, no tracer is installed,
+ * and the simulation fast path stays untouched.
+ */
+
+#ifndef MMR_OBS_OBS_CONFIG_HH
+#define MMR_OBS_OBS_CONFIG_HH
+
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "obs/sampler.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
+#include "obs/vcd.hh"
+
+namespace mmr
+{
+
+class Cli;
+class Kernel;
+
+struct ObsConfig
+{
+    std::string tracePath;     ///< Chrome trace-event JSON output
+    std::string statsJsonPath; ///< registry dump + sampler series
+    std::string statsCsvPath;  ///< sampler series as CSV
+    std::string vcdPath;       ///< sampled stats as VCD waveforms
+
+    /** Sample the registry every N cycles; 0 = only if another
+     * output (stats file, VCD) needs the sampler, then every 1000. */
+    Cycle samplePeriod = 0;
+
+    /** Stat selection patterns for the sampler (empty = all). */
+    std::vector<std::string> sampleStats;
+
+    /** Trace category list ("flit,sched"); empty/"all" = everything. */
+    std::string traceCats;
+
+    Cycle traceFrom = 0;
+    Cycle traceTo = std::numeric_limits<Cycle>::max();
+    std::size_t traceMaxEvents = 1u << 22;
+
+    /** Attribute wall time to kernel components (slows the run). */
+    bool profileComponents = false;
+
+    /** Register per-VC occupancy gauges (256 VCs x 8 ports makes for
+     * wide CSVs; off by default). */
+    bool perVcStats = false;
+
+    bool wantsTrace() const { return !tracePath.empty(); }
+    bool wantsSampler() const
+    {
+        return samplePeriod > 0 || !statsJsonPath.empty() ||
+               !statsCsvPath.empty() || !vcdPath.empty();
+    }
+    bool enabled() const
+    {
+        return wantsTrace() || wantsSampler() || profileComponents;
+    }
+};
+
+class ObsSession
+{
+  public:
+    explicit ObsSession(const ObsConfig &cfg);
+    ~ObsSession();
+
+    ObsSession(const ObsSession &) = delete;
+    ObsSession &operator=(const ObsSession &) = delete;
+
+    const ObsConfig &config() const { return cfg; }
+
+    /** Registry to populate before attach() (components register
+     * their stats into it). Valid whenever the session is enabled. */
+    StatsRegistry &registry() { return stats; }
+
+    /**
+     * Create the sampler/tracer/VCD objects the config asks for and
+     * add the sampler to @p kernel (call after every registerStats).
+     * Also enables component profiling on the kernel if requested.
+     * No-op when the config is empty.
+     */
+    void attach(Kernel &kernel);
+
+    /** The live tracer, or nullptr when tracing is off. */
+    Tracer *tracer() { return trace.get(); }
+
+    /** The live sampler, or nullptr when sampling is off. */
+    StatsSampler *sampler() { return sampl.get(); }
+
+    /**
+     * Take a final sample (so the last partial period is covered) and
+     * write every requested output file.  Idempotent.
+     */
+    void finish(Cycle now);
+
+  private:
+    ObsConfig cfg;
+    StatsRegistry stats;
+    std::unique_ptr<StatsSampler> sampl;
+    std::unique_ptr<Tracer> trace;
+    std::unique_ptr<std::ofstream> vcdStream;
+    std::unique_ptr<VcdWriter> vcd;
+    bool attached = false;
+    bool finished = false;
+};
+
+/**
+ * Declare the standard observability flags (--trace=, --trace-cats=,
+ * --trace-from/-to=, --stats-json=, --stats-csv=, --vcd=,
+ * --sample-every=, --sample-stats=, --stats-per-vc, --profile) on a
+ * Cli, all defaulting to "off".
+ */
+void addObsFlags(Cli &cli);
+
+/** Build an ObsConfig from flags declared by addObsFlags. */
+ObsConfig obsConfigFromCli(const Cli &cli);
+
+/**
+ * Derive a per-run output path from a shared flag value: inserts
+ * "-<suffix>" before the extension ("out/trace.json" + "biased_2c-0.70"
+ * -> "out/trace-biased_2c-0.70.json").  Used by sweep benches where
+ * one --trace flag covers many runs.
+ */
+std::string obsPathWithSuffix(const std::string &path,
+                              const std::string &suffix);
+
+} // namespace mmr
+
+#endif // MMR_OBS_OBS_CONFIG_HH

@@ -1,0 +1,71 @@
+#include "obs/profiler.hh"
+
+#include <ostream>
+
+#include "obs/stats_registry.hh"
+#include "sim/kernel.hh"
+
+namespace mmr
+{
+
+SimProfile
+collectProfile(const Kernel &kernel, double wall_seconds,
+               std::uint64_t events)
+{
+    SimProfile p;
+    p.wallSeconds = wall_seconds;
+    p.cycles = kernel.cyclesRun();
+    p.events = events;
+    if (kernel.profilingEnabled()) {
+        const auto names = kernel.componentNames();
+        const auto &secs = kernel.componentSeconds();
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            p.componentSeconds.emplace_back(
+                names[i].empty() ? ("component" + std::to_string(i))
+                                 : names[i],
+                secs[i]);
+        }
+    }
+    return p;
+}
+
+void
+writeProfileJson(std::ostream &os, const SimProfile &p)
+{
+    os << "{\n  \"wall_seconds\": " << obs::formatNumber(p.wallSeconds)
+       << ",\n  \"cycles\": " << p.cycles
+       << ",\n  \"events\": " << p.events
+       << ",\n  \"cycles_per_sec\": "
+       << obs::formatNumber(p.cyclesPerSec())
+       << ",\n  \"events_per_sec\": "
+       << obs::formatNumber(p.eventsPerSec())
+       << ",\n  \"components\": {";
+    bool first = true;
+    for (const auto &[name, secs] : p.componentSeconds) {
+        os << (first ? "" : ",") << "\n    \"" << name
+           << "\": " << obs::formatNumber(secs);
+        first = false;
+    }
+    os << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+void
+printProfile(std::ostream &os, const SimProfile &p)
+{
+    os << "sim-profile: " << p.cycles << " cycles in "
+       << obs::formatNumber(p.wallSeconds) << " s  ("
+       << obs::formatNumber(p.cyclesPerSec() / 1e6) << " Mcycles/s, "
+       << obs::formatNumber(p.eventsPerSec() / 1e6) << " Mevents/s)\n";
+    double total = 0.0;
+    for (const auto &[name, secs] : p.componentSeconds)
+        total += secs;
+    for (const auto &[name, secs] : p.componentSeconds) {
+        os << "  " << name << ": " << obs::formatNumber(secs) << " s";
+        if (total > 0.0)
+            os << " (" << obs::formatNumber(100.0 * secs / total)
+               << "% of attributed time)";
+        os << "\n";
+    }
+}
+
+} // namespace mmr

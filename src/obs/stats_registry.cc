@@ -1,0 +1,165 @@
+#include "obs/stats_registry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+namespace obs
+{
+
+std::string
+formatNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0"; // JSON has no inf/nan; clamp defensively
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace obs
+
+void
+StatsRegistry::add(const std::string &name, StatKind kind, ProbeFn probe)
+{
+    mmr_assert(!name.empty(), "statistic needs a name");
+    mmr_assert(probe != nullptr, "statistic '", name, "' needs a probe");
+    if (index.count(name))
+        mmr_panic("statistic '", name, "' registered twice");
+    index.emplace(name, entries.size());
+    entries.push_back(Entry{name, kind, std::move(probe)});
+}
+
+void
+StatsRegistry::addCounter(const std::string &name, ProbeFn probe)
+{
+    add(name, StatKind::Counter, std::move(probe));
+}
+
+void
+StatsRegistry::addGauge(const std::string &name, ProbeFn probe)
+{
+    add(name, StatKind::Gauge, std::move(probe));
+}
+
+void
+StatsRegistry::addCounter(const std::string &name, const std::uint64_t *v)
+{
+    mmr_assert(v != nullptr, "counter '", name, "' bound to null");
+    add(name, StatKind::Counter,
+        [v] { return static_cast<double>(*v); });
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    return index.count(name) != 0;
+}
+
+double
+StatsRegistry::value(const std::string &name) const
+{
+    auto it = index.find(name);
+    if (it == index.end())
+        mmr_panic("unknown statistic '", name, "'");
+    return entries[it->second].probe();
+}
+
+const StatsRegistry::Entry &
+StatsRegistry::entry(std::size_t i) const
+{
+    mmr_assert(i < entries.size(), "statistic index out of range");
+    return entries[i];
+}
+
+std::vector<std::size_t>
+StatsRegistry::sortedIndices() const
+{
+    std::vector<std::size_t> idx(entries.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return entries[a].name < entries[b].name;
+              });
+    return idx;
+}
+
+std::vector<std::string>
+StatsRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (std::size_t i : sortedIndices())
+        out.push_back(entries[i].name);
+    return out;
+}
+
+std::vector<std::size_t>
+StatsRegistry::select(const std::vector<std::string> &patterns) const
+{
+    std::vector<bool> picked(entries.size(), false);
+    if (patterns.empty()) {
+        picked.assign(entries.size(), true);
+    }
+    for (const std::string &pat : patterns) {
+        if (pat == "*" || pat.empty()) {
+            picked.assign(entries.size(), true);
+            continue;
+        }
+        if (!pat.empty() && (pat.back() == '*' || pat.back() == '.')) {
+            const std::string prefix =
+                pat.back() == '*' ? pat.substr(0, pat.size() - 1) : pat;
+            bool any = false;
+            for (std::size_t i = 0; i < entries.size(); ++i) {
+                if (entries[i].name.rfind(prefix, 0) == 0) {
+                    picked[i] = true;
+                    any = true;
+                }
+            }
+            if (!any)
+                mmr_warn("stat pattern '", pat, "' matched nothing");
+            continue;
+        }
+        auto it = index.find(pat);
+        if (it == index.end())
+            mmr_panic("unknown statistic '", pat,
+                      "' in selection (use a trailing '*' for a "
+                      "prefix match)");
+        picked[it->second] = true;
+    }
+    std::vector<std::size_t> out;
+    for (std::size_t i : sortedIndices())
+        if (picked[i])
+            out.push_back(i);
+    return out;
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (std::size_t i : sortedIndices()) {
+        const Entry &e = entries[i];
+        os << (first ? "" : ",") << "\n  \"" << e.name << "\": {\"kind\": \""
+           << (e.kind == StatKind::Counter ? "counter" : "gauge")
+           << "\", \"value\": " << obs::formatNumber(e.probe()) << "}";
+        first = false;
+    }
+    os << "\n}\n";
+}
+
+} // namespace mmr

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Hierarchical registry of named simulation statistics.
+ *
+ * Every observable quantity in the router gets a dotted name
+ * (`router0.in2.vc5.occupancy`, `sched.matching_size.mean`,
+ * `admission.out1.allocated_cycles`) bound to a probe callback that
+ * reads the live value on demand.  Registration is cheap and carries
+ * no per-cycle cost: nothing is evaluated until a sampler, a dump, or
+ * a VCD writer asks.  Two kinds are distinguished so consumers can
+ * integrate correctly:
+ *
+ *  - Counter: monotonically non-decreasing event count (flits
+ *    forwarded, credits consumed); rates come from deltas;
+ *  - Gauge: instantaneous level (VC occupancy, allocated bandwidth).
+ *
+ * Output (JSON dump, sampler columns) is ordered lexicographically by
+ * name so files are bit-identical across same-seed runs regardless of
+ * registration order.
+ */
+
+#ifndef MMR_OBS_STATS_REGISTRY_HH
+#define MMR_OBS_STATS_REGISTRY_HH
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mmr
+{
+
+enum class StatKind
+{
+    Counter, ///< monotonic event count
+    Gauge    ///< instantaneous level
+};
+
+namespace obs
+{
+
+/**
+ * Render a double for machine-readable output: integers (the common
+ * case for counters) print without a fraction, everything else with
+ * round-trip precision ("%.17g").  Deterministic for equal inputs, so
+ * same-seed runs produce bit-identical stats/trace files.
+ */
+std::string formatNumber(double v);
+
+} // namespace obs
+
+class StatsRegistry
+{
+  public:
+    /** Probe callback: reads the statistic's current value. */
+    using ProbeFn = std::function<double()>;
+
+    struct Entry
+    {
+        std::string name;
+        StatKind kind;
+        ProbeFn probe;
+    };
+
+    /** Register a monotonic counter probe; duplicate names panic. */
+    void addCounter(const std::string &name, ProbeFn probe);
+
+    /** Register an instantaneous gauge probe; duplicate names panic. */
+    void addGauge(const std::string &name, ProbeFn probe);
+
+    /** Convenience: bind a counter directly to an integer variable
+     * that outlives the registry. */
+    void addCounter(const std::string &name, const std::uint64_t *v);
+
+    std::size_t size() const { return entries.size(); }
+    bool has(const std::string &name) const;
+
+    /** Read one statistic by name; panics on unknown names. */
+    double value(const std::string &name) const;
+
+    const Entry &entry(std::size_t i) const;
+
+    /** All names, lexicographically sorted (deterministic). */
+    std::vector<std::string> names() const;
+
+    /**
+     * Resolve selection patterns to entry indices, sorted by name.
+     * A pattern is an exact name, a subtree prefix ending in ".", or
+     * a prefix glob ending in "*" ("router0.in2.*"); "*" and an empty
+     * pattern list select everything.  Unknown exact names panic so
+     * typos do not silently sample nothing.
+     */
+    std::vector<std::size_t>
+    select(const std::vector<std::string> &patterns) const;
+
+    /**
+     * Dump every statistic's current value as one JSON object
+     * (sorted by name): {"name": {"kind": "counter", "value": v}, ...}
+     */
+    void dumpJson(std::ostream &os) const;
+
+  private:
+    void add(const std::string &name, StatKind kind, ProbeFn probe);
+
+    /** Indices of all entries, sorted by name. */
+    std::vector<std::size_t> sortedIndices() const;
+
+    std::vector<Entry> entries;
+    std::unordered_map<std::string, std::size_t> index;
+};
+
+} // namespace mmr
+
+#endif // MMR_OBS_STATS_REGISTRY_HH

@@ -1,0 +1,169 @@
+#include "obs/trace.hh"
+
+#include <ostream>
+
+#include "base/logging.hh"
+#include "obs/stats_registry.hh"
+
+namespace mmr
+{
+
+Tracer *Tracer::current = nullptr;
+
+const char *
+to_string(TraceCat c)
+{
+    switch (c) {
+      case TraceCat::Flit:
+        return "flit";
+      case TraceCat::Sched:
+        return "sched";
+      case TraceCat::Admission:
+        return "admission";
+      case TraceCat::Credit:
+        return "credit";
+      case TraceCat::Setup:
+        return "setup";
+      case TraceCat::Control:
+        return "control";
+      default:
+        return "?";
+    }
+}
+
+std::uint32_t
+traceCatMaskFromString(const std::string &spec)
+{
+    constexpr std::uint32_t all =
+        (1u << static_cast<unsigned>(TraceCat::NumCats)) - 1;
+    if (spec.empty() || spec == "all")
+        return all;
+    std::uint32_t mask = 0;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string part = spec.substr(start, comma - start);
+        start = comma + 1;
+        if (part.empty())
+            continue;
+        bool known = false;
+        for (unsigned c = 0;
+             c < static_cast<unsigned>(TraceCat::NumCats); ++c) {
+            if (part == to_string(static_cast<TraceCat>(c))) {
+                mask |= 1u << c;
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            mmr_fatal("unknown trace category '", part,
+                      "' (want flit|sched|admission|credit|setup|"
+                      "control|all)");
+    }
+    return mask;
+}
+
+Tracer::Tracer(std::size_t max_events)
+    : catMask((1u << static_cast<unsigned>(TraceCat::NumCats)) - 1),
+      maxEvents(max_events)
+{
+    mmr_assert(maxEvents >= 1, "tracer needs room for events");
+}
+
+Tracer::~Tracer()
+{
+    deactivate();
+}
+
+void
+Tracer::activate()
+{
+    mmr_assert(current == nullptr || current == this,
+               "another tracer is already active");
+    current = this;
+}
+
+void
+Tracer::deactivate()
+{
+    if (current == this)
+        current = nullptr;
+}
+
+void
+Tracer::setCycleRange(Cycle from, Cycle to)
+{
+    mmr_assert(from <= to, "trace cycle range is inverted");
+    fromCycle = from;
+    toCycle = to;
+}
+
+bool
+Tracer::push(const Event &e)
+{
+    if (events.size() >= maxEvents) {
+        ++dropped;
+        return false;
+    }
+    events.push_back(e);
+    return true;
+}
+
+void
+Tracer::instant(TraceCat cat, const char *name, Cycle now,
+                std::uint32_t lane, ConnId conn, std::int32_t a0,
+                std::int32_t a1)
+{
+    if (!inRange(now))
+        return;
+    push(Event{now, name, 0.0, conn, a0, a1, lane, cat, 'i'});
+}
+
+void
+Tracer::counter(TraceCat cat, const char *name, Cycle now, double value)
+{
+    if (!inRange(now))
+        return;
+    push(Event{now, name, value, kInvalidConn, -1, -1, 0, cat, 'C'});
+}
+
+void
+Tracer::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\": \"ns\", \"otherData\": "
+          "{\"dropped_events\": "
+       << dropped << "},\n\"traceEvents\": [";
+    bool first = true;
+    for (const Event &e : events) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "{\"name\": \"" << e.name << "\", \"cat\": \""
+           << to_string(e.cat) << "\", \"ph\": \"" << e.phase
+           << "\", \"ts\": " << e.cycle << ", \"pid\": 0, \"tid\": "
+           << e.lane;
+        if (e.phase == 'C') {
+            os << ", \"args\": {\"value\": "
+               << obs::formatNumber(e.value) << "}";
+        } else {
+            os << ", \"s\": \"t\", \"args\": {";
+            bool farg = true;
+            if (e.conn != kInvalidConn) {
+                os << "\"conn\": " << e.conn;
+                farg = false;
+            }
+            if (e.a0 >= 0) {
+                os << (farg ? "" : ", ") << "\"a0\": " << e.a0;
+                farg = false;
+            }
+            if (e.a1 >= 0)
+                os << (farg ? "" : ", ") << "\"a1\": " << e.a1;
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+} // namespace mmr

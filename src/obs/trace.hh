@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Event tracing: per-cycle flit-lifecycle, scheduler and admission
+ * events, exported as Chrome trace-event JSON (loadable in Perfetto
+ * or chrome://tracing).
+ *
+ * Instrumentation sites use the MMR_TRACE_* macros, which compile to
+ * a single predicted-not-taken branch on a global pointer when no
+ * tracer is installed — the "tracing disabled" fast path adds no
+ * measurable cost to the simulation.  Building with
+ * -DMMR_TRACING_ENABLED=0 removes the sites entirely.
+ *
+ * A Tracer filters by category (flit / sched / admission / credit /
+ * setup / control) and by cycle range, buffers fixed-size event
+ * records in memory (bounded; overflow is counted, never reallocates
+ * mid-run into pathological sizes), and serializes once at the end of
+ * the run.  Event timestamps are flit cycles; the "tid" lane is the
+ * router port the event concerns, so Perfetto renders one swim lane
+ * per port.  Output depends only on simulated state: same-seed runs
+ * produce bit-identical trace files.
+ */
+
+#ifndef MMR_OBS_TRACE_HH
+#define MMR_OBS_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+#ifndef MMR_TRACING_ENABLED
+#define MMR_TRACING_ENABLED 1
+#endif
+
+namespace mmr
+{
+
+/** Event categories, each independently switchable. */
+enum class TraceCat : std::uint8_t
+{
+    Flit,      ///< inject / VC alloc / switch transmit
+    Sched,     ///< switch-scheduler grants and matching size
+    Admission, ///< bandwidth admission accept/reject
+    Credit,    ///< credit consume/replenish (high volume)
+    Setup,     ///< probe/EPB connection establishment phases
+    Control,   ///< VCT cut-throughs, control-word application
+    NumCats
+};
+
+const char *to_string(TraceCat c);
+
+/** Parse "flit,sched,admission" style lists; panics on unknown names. */
+std::uint32_t traceCatMaskFromString(const std::string &spec);
+
+class Tracer
+{
+  public:
+    /**
+     * @param max_events in-memory event cap; further events are
+     *        dropped and counted (the JSON records the drop count)
+     */
+    explicit Tracer(std::size_t max_events = 1u << 22);
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** The globally installed tracer; nullptr = tracing disabled. */
+    static Tracer *active() { return current; }
+
+    /** Install this tracer as the global one (at most one at a time). */
+    void activate();
+
+    /** Uninstall (also done by the destructor). */
+    void deactivate();
+
+    /** Enable only the categories in @p mask (bit = TraceCat value). */
+    void setCategoryMask(std::uint32_t mask) { catMask = mask; }
+    std::uint32_t categoryMask() const { return catMask; }
+    bool categoryEnabled(TraceCat c) const
+    {
+        return (catMask >> static_cast<unsigned>(c)) & 1u;
+    }
+
+    /** Record only events with cycle in [from, to]. */
+    void setCycleRange(Cycle from, Cycle to);
+
+    /** Fast-path test used by the MMR_TRACE_* macros. */
+    static bool wants(TraceCat c)
+    {
+        return current != nullptr && current->categoryEnabled(c);
+    }
+
+    /**
+     * Record an instant event.
+     * @param name static string (not copied)
+     * @param lane rendering lane, normally the port concerned
+     * @param conn connection id or kInvalidConn
+     * @param a0,a1 small integer args (VC ids, cycle counts, ...);
+     *        negative = absent
+     */
+    void instant(TraceCat cat, const char *name, Cycle now,
+                 std::uint32_t lane, ConnId conn, std::int32_t a0 = -1,
+                 std::int32_t a1 = -1);
+
+    /** Record a counter track sample (renders as a graph). */
+    void counter(TraceCat cat, const char *name, Cycle now,
+                 double value);
+
+    std::size_t eventCount() const { return events.size(); }
+    std::uint64_t droppedEvents() const { return dropped; }
+
+    /** Serialize everything as Chrome trace-event JSON. */
+    void writeChromeJson(std::ostream &os) const;
+
+  private:
+    struct Event
+    {
+        Cycle cycle;
+        const char *name;
+        double value;   ///< counter events only
+        ConnId conn;
+        std::int32_t a0;
+        std::int32_t a1;
+        std::uint32_t lane;
+        TraceCat cat;
+        char phase;     ///< 'i' instant, 'C' counter
+    };
+
+    bool inRange(Cycle now) const
+    {
+        return now >= fromCycle && now <= toCycle;
+    }
+    bool push(const Event &e);
+
+    static Tracer *current;
+
+    std::uint32_t catMask;
+    Cycle fromCycle = 0;
+    Cycle toCycle = std::numeric_limits<Cycle>::max();
+    std::size_t maxEvents;
+    std::vector<Event> events;
+    std::uint64_t dropped = 0;
+};
+
+} // namespace mmr
+
+// ---------------------------------------------------------------------
+// Instrumentation macros: zero-cost when compiled out, one branch on a
+// global when no tracer is active.
+// ---------------------------------------------------------------------
+
+#if MMR_TRACING_ENABLED
+#define MMR_TRACE_INSTANT(cat, name, now, lane, conn, ...) \
+    do { \
+        if (::mmr::Tracer::wants(cat)) { \
+            ::mmr::Tracer::active()->instant( \
+                cat, name, now, lane, conn, ##__VA_ARGS__); \
+        } \
+    } while (0)
+#define MMR_TRACE_COUNTER(cat, name, now, value) \
+    do { \
+        if (::mmr::Tracer::wants(cat)) { \
+            ::mmr::Tracer::active()->counter(cat, name, now, value); \
+        } \
+    } while (0)
+#else
+#define MMR_TRACE_INSTANT(cat, name, now, lane, conn, ...) \
+    do { \
+    } while (0)
+#define MMR_TRACE_COUNTER(cat, name, now, value) \
+    do { \
+    } while (0)
+#endif
+
+#endif // MMR_OBS_TRACE_HH

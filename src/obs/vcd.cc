@@ -1,0 +1,199 @@
+#include "obs/vcd.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+VcdWriter::VcdWriter(std::ostream &os, std::string timescale_)
+    : out(os), timescale(std::move(timescale_))
+{
+}
+
+VcdWriter::~VcdWriter()
+{
+    finish();
+}
+
+std::string
+VcdWriter::freshCode()
+{
+    // Printable identifier characters per the VCD grammar: '!'..'~'.
+    std::string code;
+    std::size_t n = nextCode++;
+    do {
+        code.push_back(static_cast<char>('!' + n % 94));
+        n /= 94;
+    } while (n > 0);
+    return code;
+}
+
+VcdWriter::SignalId
+VcdWriter::addReal(const std::string &dotted_path)
+{
+    mmr_assert(!headerWritten,
+               "VCD signals must be added before the first tick");
+    Signal s;
+    s.path = dotted_path;
+    s.code = freshCode();
+    s.real = true;
+    s.width = 64;
+    signals.push_back(std::move(s));
+    return signals.size() - 1;
+}
+
+VcdWriter::SignalId
+VcdWriter::addWire(const std::string &dotted_path, unsigned width)
+{
+    mmr_assert(!headerWritten,
+               "VCD signals must be added before the first tick");
+    mmr_assert(width >= 1 && width <= 64, "wire width out of range");
+    Signal s;
+    s.path = dotted_path;
+    s.code = freshCode();
+    s.real = false;
+    s.width = width;
+    signals.push_back(std::move(s));
+    return signals.size() - 1;
+}
+
+namespace
+{
+
+/** Split "a.b.c" into {"a","b"} scopes and the leaf name "c". */
+std::vector<std::string>
+splitPath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t dot = path.find('.', start);
+        if (dot == std::string::npos) {
+            parts.push_back(path.substr(start));
+            break;
+        }
+        parts.push_back(path.substr(start, dot - start));
+        start = dot + 1;
+    }
+    return parts;
+}
+
+} // namespace
+
+void
+VcdWriter::writeHeader()
+{
+    out << "$version mmr observability layer $end\n";
+    out << "$timescale " << timescale << " $end\n";
+
+    // Emit $scope blocks for the dotted hierarchy.  Signals were
+    // registered in caller order; sort-free emission tracks the open
+    // scope stack and reuses it between adjacent signals.
+    std::vector<std::string> open;
+    for (Signal &s : signals) {
+        std::vector<std::string> parts = splitPath(s.path);
+        const std::string leaf = parts.back();
+        parts.pop_back();
+        // Close scopes that no longer match.
+        std::size_t common = 0;
+        while (common < open.size() && common < parts.size() &&
+               open[common] == parts[common])
+            ++common;
+        while (open.size() > common) {
+            out << "$upscope $end\n";
+            open.pop_back();
+        }
+        for (std::size_t i = common; i < parts.size(); ++i) {
+            out << "$scope module " << parts[i] << " $end\n";
+            open.push_back(parts[i]);
+        }
+        if (s.real) {
+            out << "$var real 64 " << s.code << ' ' << leaf << " $end\n";
+        } else {
+            out << "$var wire " << s.width << ' ' << s.code << ' '
+                << leaf << " $end\n";
+        }
+    }
+    while (!open.empty()) {
+        out << "$upscope $end\n";
+        open.pop_back();
+    }
+    out << "$enddefinitions $end\n";
+    headerWritten = true;
+}
+
+void
+VcdWriter::tick(Cycle now)
+{
+    if (!headerWritten)
+        writeHeader();
+    mmr_assert(!timeDirty || now >= pendingTime,
+               "VCD time must not go backwards");
+    pendingTime = now;
+    timeDirty = true;
+}
+
+void
+VcdWriter::emitTimestamp()
+{
+    if (timeDirty) {
+        out << '#' << pendingTime << '\n';
+        timeDirty = false;
+    }
+}
+
+void
+VcdWriter::writeValue(Signal &s)
+{
+    emitTimestamp();
+    if (s.real) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "r%.16g %s", s.lastReal,
+                      s.code.c_str());
+        out << buf << '\n';
+    } else {
+        out << 'b';
+        for (unsigned bit = s.width; bit-- > 0;)
+            out << (((s.lastBits >> bit) & 1u) ? '1' : '0');
+        out << ' ' << s.code << '\n';
+    }
+}
+
+void
+VcdWriter::set(SignalId id, double value)
+{
+    mmr_assert(id < signals.size(), "VCD signal out of range");
+    mmr_assert(headerWritten, "VCD set() before the first tick");
+    Signal &s = signals[id];
+    mmr_assert(s.real, "real value on a wire signal");
+    if (s.hasLast && s.lastReal == value)
+        return;
+    s.lastReal = value;
+    s.hasLast = true;
+    writeValue(s);
+}
+
+void
+VcdWriter::set(SignalId id, std::uint64_t value)
+{
+    mmr_assert(id < signals.size(), "VCD signal out of range");
+    mmr_assert(headerWritten, "VCD set() before the first tick");
+    Signal &s = signals[id];
+    mmr_assert(!s.real, "integer value on a real signal");
+    if (s.hasLast && s.lastBits == value)
+        return;
+    s.lastBits = value;
+    s.hasLast = true;
+    writeValue(s);
+}
+
+void
+VcdWriter::finish()
+{
+    out.flush();
+}
+
+} // namespace mmr

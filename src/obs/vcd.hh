@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Value Change Dump (IEEE 1364 §18) waveform writer.
+ *
+ * Streams selected statistics as VCD signals so a run can be opened
+ * in GTKWave next to a hardware trace (the hornet NoC simulator ships
+ * the same facility for exactly this purpose).  Dotted stat names
+ * ("router0.in2.occupancy") become nested $scope modules; signals are
+ * real-valued by default with an integer wire form for flags.
+ *
+ * Usage: add signals, then tick(cycle) + set(id, value) per sample;
+ * the header is written lazily on the first tick, and unchanged
+ * values are deduplicated as VCD semantics expect.  Output depends
+ * only on simulated values, so same-seed runs produce bit-identical
+ * files.
+ */
+
+#ifndef MMR_OBS_VCD_HH
+#define MMR_OBS_VCD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mmr
+{
+
+class VcdWriter
+{
+  public:
+    using SignalId = std::size_t;
+
+    /**
+     * @param os stream the waveform is written to (must outlive the
+     *        writer)
+     * @param timescale VCD $timescale body; the default calls one
+     *        simulated flit cycle 1 ns
+     */
+    explicit VcdWriter(std::ostream &os,
+                       std::string timescale = "1 ns");
+
+    /** Register a real-valued signal; must precede the first tick. */
+    SignalId addReal(const std::string &dotted_path);
+
+    /** Register an integer wire of @p width bits. */
+    SignalId addWire(const std::string &dotted_path, unsigned width);
+
+    std::size_t signalCount() const { return signals.size(); }
+
+    /**
+     * Enter simulated time @p now (monotonically non-decreasing).
+     * Writes the header on the first call.  The "#<time>" record is
+     * emitted lazily, only if some value actually changes.
+     */
+    void tick(Cycle now);
+
+    void set(SignalId id, double value);
+    void set(SignalId id, std::uint64_t value);
+
+    /** Flush pending output (called automatically on destruction). */
+    void finish();
+
+    ~VcdWriter();
+
+  private:
+    struct Signal
+    {
+        std::string path;
+        std::string code; ///< short VCD identifier
+        bool real;
+        unsigned width;
+        double lastReal = 0.0;
+        std::uint64_t lastBits = 0;
+        bool hasLast = false;
+    };
+
+    std::string freshCode();
+    void writeHeader();
+    void emitTimestamp();
+    void writeValue(Signal &s);
+
+    std::ostream &out;
+    std::string timescale;
+    std::vector<Signal> signals;
+    bool headerWritten = false;
+    Cycle pendingTime = 0;
+    bool timeDirty = false; ///< "#time" not yet emitted for pendingTime
+    std::size_t nextCode = 0;
+};
+
+} // namespace mmr
+
+#endif // MMR_OBS_VCD_HH

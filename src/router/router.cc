@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/simclock.hh"
+#include "obs/trace.hh"
 #include "traffic/rates.hh"
 
 namespace mmr
@@ -80,8 +82,12 @@ MmrRouter::openCbr(PortId in, PortId out, double rate_bps)
         return kInvalidConn; // a link can never carry this rate
     const unsigned cycles =
         cyclesPerRound(rate_bps, cfg.linkRateBps, cfg.cyclesPerRound());
-    if (!admit.tryAdmitCbr(out, cycles))
+    if (!admit.tryAdmitCbr(out, cycles)) {
+        MMR_TRACE_INSTANT(TraceCat::Admission, "admit_reject",
+                          simclock::now(), out, kInvalidConn,
+                          static_cast<std::int32_t>(cycles));
         return kInvalidConn;
+    }
 
     SegmentParams p;
     p.id = nextLocalConn();
@@ -101,6 +107,8 @@ MmrRouter::openCbr(PortId in, PortId out, double rate_bps)
         admit.releaseCbr(out, cycles);
         return kInvalidConn;
     }
+    MMR_TRACE_INSTANT(TraceCat::Admission, "admit_cbr", simclock::now(),
+                      out, p.id, static_cast<std::int32_t>(cycles));
     return p.id;
 }
 
@@ -114,8 +122,13 @@ MmrRouter::openVbr(PortId in, PortId out, double mean_bps,
     const unsigned round = cfg.cyclesPerRound();
     const unsigned perm = cyclesPerRound(mean_bps, cfg.linkRateBps, round);
     const unsigned peak = cyclesPerRound(peak_bps, cfg.linkRateBps, round);
-    if (!admit.tryAdmitVbr(out, perm, peak))
+    if (!admit.tryAdmitVbr(out, perm, peak)) {
+        MMR_TRACE_INSTANT(TraceCat::Admission, "admit_reject",
+                          simclock::now(), out, kInvalidConn,
+                          static_cast<std::int32_t>(perm),
+                          static_cast<std::int32_t>(peak));
         return kInvalidConn;
+    }
 
     SegmentParams p;
     p.id = nextLocalConn();
@@ -137,6 +150,9 @@ MmrRouter::openVbr(PortId in, PortId out, double mean_bps,
         admit.releaseVbr(out, perm, peak);
         return kInvalidConn;
     }
+    MMR_TRACE_INSTANT(TraceCat::Admission, "admit_vbr", simclock::now(),
+                      out, p.id, static_cast<std::int32_t>(perm),
+                      static_cast<std::int32_t>(peak));
     return p.id;
 }
 
@@ -198,6 +214,9 @@ MmrRouter::installSegment(const SegmentParams &p)
     vc.setTieBreak(rand.uniform());
     routes.map(ChannelRef{p.in, p.inVc}, ChannelRef{p.out, p.outVc});
     conns.emplace(p.id, p);
+    MMR_TRACE_INSTANT(TraceCat::Setup, "vc_alloc", simclock::now(),
+                      p.in, p.id, static_cast<std::int32_t>(p.inVc),
+                      static_cast<std::int32_t>(p.outVc));
     return true;
 }
 
@@ -314,6 +333,8 @@ MmrRouter::inject(ConnId id, Flit f)
         return false;
     }
     ++statInjected;
+    MMR_TRACE_INSTANT(TraceCat::Flit, "inject", f.readyTime, p.in, id,
+                      static_cast<std::int32_t>(p.inVc));
     return true;
 }
 
@@ -327,6 +348,8 @@ MmrRouter::injectRaw(PortId in, VcId vc, const Flit &f)
         return false;
     }
     ++statInjected;
+    MMR_TRACE_INSTANT(TraceCat::Flit, "inject", f.readyTime, in, f.conn,
+                      static_cast<std::int32_t>(vc));
     return true;
 }
 
@@ -405,6 +428,9 @@ MmrRouter::processBypass(Cycle now)
             ++statBypassHits;
             ++statForwarded;
             ++statByClass[static_cast<int>(TrafficClass::Control)];
+            MMR_TRACE_INSTANT(TraceCat::Control, "cut_through", now,
+                              req.out, req.flit.conn,
+                              static_cast<std::int32_t>(req.in));
             if (metrics) {
                 metrics->recordDeparture(
                     req.flit.conn, now,
@@ -477,10 +503,16 @@ MmrRouter::evaluate(Cycle now)
     bypassMasks.busyIn.clearAll();
     bypassMasks.busyOut.clearAll();
 
-    for (const Candidate &c : nextMatching)
+    for (const Candidate &c : nextMatching) {
         inputMems[c.in].vc(c.vc).noteGrantIssued();
+        MMR_TRACE_INSTANT(TraceCat::Sched, "grant", now, c.in, c.conn,
+                          static_cast<std::int32_t>(c.vc),
+                          static_cast<std::int32_t>(c.out));
+    }
 
     statMatchSize.add(static_cast<double>(nextMatching.size()));
+    MMR_TRACE_COUNTER(TraceCat::Sched, "sched.matching_size", now,
+                      static_cast<double>(nextMatching.size()));
 }
 
 void
@@ -488,6 +520,9 @@ MmrRouter::deliver(const Candidate &grant, Flit &&flit, Cycle now)
 {
     ++statForwarded;
     ++statByClass[static_cast<int>(flit.klass)];
+    MMR_TRACE_INSTANT(TraceCat::Flit, "xmit", now, grant.out,
+                      grant.conn, static_cast<std::int32_t>(grant.vc),
+                      static_cast<std::int32_t>(grant.outVc));
     if (metrics) {
         metrics->recordDeparture(
             grant.conn, now,
@@ -531,6 +566,11 @@ MmrRouter::applyMatching(Cycle now)
         vc.noteServiced();
         inputMems[grant.in].noteDrained(grant.vc);
         creditMgr.consume(grant.out, grant.outVc);
+        MMR_TRACE_INSTANT(TraceCat::Credit, "credit_consume", now,
+                          grant.out, grant.conn,
+                          static_cast<std::int32_t>(grant.outVc),
+                          static_cast<std::int32_t>(
+                              creditMgr.credits(grant.out, grant.outVc)));
         deliver(grant, std::move(flit), now);
         maybeAutoRelease(grant.conn, grant.in, grant.vc);
     }
@@ -682,6 +722,96 @@ MmrRouter::registerInvariants(InvariantChecker &chk,
 
     // Credit conservation (§4.2), internal ledger form.
     creditMgr.registerInvariants(chk, nullptr, sweep_period);
+}
+
+// ---------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------
+
+void
+MmrRouter::registerStats(StatsRegistry &reg, const std::string &prefix,
+                         StatsDetail detail)
+{
+    reg.addCounter(prefix + "flits.injected", &statInjected);
+    reg.addCounter(prefix + "flits.forwarded", &statForwarded);
+    reg.addCounter(prefix + "flits.inject_rejects", &statInjectReject);
+    reg.addCounter(prefix + "flits.cbr",
+                   &statByClass[static_cast<int>(TrafficClass::CBR)]);
+    reg.addCounter(prefix + "flits.vbr",
+                   &statByClass[static_cast<int>(TrafficClass::VBR)]);
+    reg.addCounter(
+        prefix + "flits.best_effort",
+        &statByClass[static_cast<int>(TrafficClass::BestEffort)]);
+    reg.addCounter(
+        prefix + "flits.control",
+        &statByClass[static_cast<int>(TrafficClass::Control)]);
+    reg.addCounter(prefix + "bypass.hits", &statBypassHits);
+    reg.addCounter(prefix + "bypass.misses", &statBypassMisses);
+    reg.addCounter(prefix + "control.drops", &statControlDrops);
+
+    reg.addGauge(prefix + "sched.matching_size.mean",
+                 [this] { return statMatchSize.mean(); });
+    reg.addCounter(prefix + "sched.matching_size.count", [this] {
+        return static_cast<double>(statMatchSize.count());
+    });
+    reg.addCounter(prefix + "sched.reconfigs", [this] {
+        return static_cast<double>(reconfig.reconfigurations());
+    });
+    reg.addGauge(prefix + "sched.reconfig_rate",
+                 [this] { return reconfig.reconfigRate(); });
+
+    reg.addCounter(prefix + "credit.consumed",
+                   [this] {
+                       return static_cast<double>(
+                           creditMgr.consumedCount());
+                   });
+    reg.addCounter(prefix + "credit.replenished",
+                   [this] {
+                       return static_cast<double>(
+                           creditMgr.replenishedCount());
+                   });
+
+    reg.addGauge(prefix + "connections", [this] {
+        return static_cast<double>(conns.size());
+    });
+
+    if (detail == StatsDetail::Aggregate)
+        return;
+
+    for (PortId p = 0; p < cfg.numPorts; ++p) {
+        const std::string in = prefix + "in" + std::to_string(p) + ".";
+        reg.addGauge(in + "occupancy", [this, p] {
+            return static_cast<double>(inputMems[p].occupancy());
+        });
+        reg.addCounter(in + "overflows", [this, p] {
+            return static_cast<double>(inputMems[p].overflowCount());
+        });
+        reg.addGauge(in + "phit_depth", [this, p] {
+            return static_cast<double>(phitBufs[p].depth());
+        });
+
+        const std::string out =
+            prefix + "admission.out" + std::to_string(p) + ".";
+        reg.addGauge(out + "allocated_cycles", [this, p] {
+            return static_cast<double>(admit.allocatedCycles(p));
+        });
+        reg.addGauge(out + "peak_cycles", [this, p] {
+            return static_cast<double>(admit.peakCycles(p));
+        });
+        reg.addGauge(out + "available_cycles", [this, p] {
+            return static_cast<double>(admit.availableCycles(p));
+        });
+
+        if (detail != StatsDetail::PerVc)
+            continue;
+        for (VcId v = 0; v < cfg.vcsPerPort; ++v) {
+            reg.addGauge(in + "vc" + std::to_string(v) + ".occupancy",
+                         [this, p, v] {
+                             return static_cast<double>(
+                                 inputMems[p].vc(v).depth());
+                         });
+        }
+    }
 }
 
 } // namespace mmr

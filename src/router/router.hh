@@ -28,6 +28,7 @@
 #include "base/rng.hh"
 #include "base/stats.hh"
 #include "metrics/recorder.hh"
+#include "obs/stats_registry.hh"
 #include "router/admission.hh"
 #include "router/config.hh"
 #include "router/crossbar.hh"
@@ -176,6 +177,30 @@ class MmrRouter : public Clocked
      */
     void registerInvariants(InvariantChecker &chk,
                             unsigned sweep_period = 16);
+
+    // ------------------------------------------------------------------
+    // Observability (obs/ layer)
+    // ------------------------------------------------------------------
+
+    /** Granularity of registerStats: aggregate counters only, plus
+     * per-port gauges, plus per-VC occupancy gauges. */
+    enum class StatsDetail
+    {
+        Aggregate,
+        PerPort,
+        PerVc
+    };
+
+    /**
+     * Register this router's statistics into @p reg under @p prefix
+     * ("router0." -> "router0.flits.forwarded",
+     * "router0.in2.occupancy", "router0.admission.out1.allocated_cycles",
+     * "router0.in2.vc5.occupancy" at PerVc detail).  Probes read live
+     * state on demand; registration itself adds no per-cycle cost.
+     * The registry must not outlive the router.
+     */
+    void registerStats(StatsRegistry &reg, const std::string &prefix,
+                       StatsDetail detail = StatsDetail::PerPort);
 
     // ------------------------------------------------------------------
     // Component access (tests, network layer, benches)

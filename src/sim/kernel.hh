@@ -43,6 +43,9 @@ class Clocked
 class Kernel
 {
   public:
+    /** Withdraws the published simclock cycle (see step()). */
+    ~Kernel();
+
     /** Register a component; not owned. Order is evaluation order. */
     void add(Clocked *c, std::string name = {});
 
@@ -62,7 +65,35 @@ class Kernel
 
     std::size_t componentCount() const { return components.size(); }
 
+    // ------------------------------------------------------------------
+    // Self-profiling (observability layer)
+    // ------------------------------------------------------------------
+
+    /**
+     * Attribute wall-clock time to each component's evaluate+advance
+     * while stepping.  Off by default: profiling adds two clock reads
+     * per component per phase, so enable it only when the attribution
+     * is wanted (the cycles/sec summary does not need it).
+     */
+    void enableProfiling(bool on) { profiling = on; }
+    bool profilingEnabled() const { return profiling; }
+
+    /** Cycles stepped since construction (profiled or not). */
+    Cycle cyclesRun() const { return currentCycle; }
+
+    /** Component names in registration order ("" when unnamed). */
+    std::vector<std::string> componentNames() const;
+
+    /** Accumulated seconds per component (registration order); all
+     * zero unless profiling was enabled while stepping. */
+    const std::vector<double> &componentSeconds() const
+    {
+        return compSeconds;
+    }
+
   private:
+    void stepProfiled();
+
     struct Item
     {
         Clocked *component;
@@ -70,8 +101,10 @@ class Kernel
     };
 
     std::vector<Item> components;
+    std::vector<double> compSeconds;
     EventQueue queue;
     Cycle currentCycle = 0;
+    bool profiling = false;
 };
 
 } // namespace mmr

@@ -9,13 +9,40 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/logging.hh"
+#include "base/simclock.hh"
 
 namespace mmr
 {
 namespace
 {
+
+/** Capture everything that reaches the sink, restoring on scope exit. */
+class SinkCapture
+{
+  public:
+    SinkCapture()
+    {
+        prev = log::setSink([this](LogLevel l, const std::string &m) {
+            lines.emplace_back(l, m);
+        });
+        prevLevel = log::level();
+    }
+    ~SinkCapture()
+    {
+        log::setSink(std::move(prev));
+        log::setLevel(prevLevel);
+    }
+
+    std::vector<std::pair<LogLevel, std::string>> lines;
+
+  private:
+    log::SinkFn prev;
+    LogLevel prevLevel;
+};
 
 TEST(Logging, FatalThrowsWithComposedMessage)
 {
@@ -63,6 +90,71 @@ TEST(Logging, AssertPassesSilently)
 {
     mmr_assert(1 + 1 == 2, "arithmetic holds");
     SUCCEED();
+}
+
+TEST(Logging, MessagesRouteThroughTheSink)
+{
+    SinkCapture cap;
+    log::setLevel(LogLevel::Debug);
+    mmr_warn("w ", 1);
+    mmr_inform("i ", 2);
+    mmr_debug("d ", 3);
+    ASSERT_EQ(cap.lines.size(), 3u);
+    EXPECT_EQ(cap.lines[0].first, LogLevel::Warn);
+    EXPECT_EQ(cap.lines[0].second, "w 1");
+    EXPECT_EQ(cap.lines[1].first, LogLevel::Info);
+    EXPECT_EQ(cap.lines[1].second, "i 2");
+    EXPECT_EQ(cap.lines[2].first, LogLevel::Debug);
+    EXPECT_EQ(cap.lines[2].second, "d 3");
+}
+
+TEST(Logging, LevelFiltersBelowThreshold)
+{
+    SinkCapture cap;
+    log::setLevel(LogLevel::Warn);
+    mmr_debug("hidden");
+    mmr_inform("hidden too");
+    mmr_warn("visible");
+    ASSERT_EQ(cap.lines.size(), 1u);
+    EXPECT_EQ(cap.lines[0].second, "visible");
+
+    log::setLevel(LogLevel::Silent);
+    mmr_warn("swallowed");
+    EXPECT_EQ(cap.lines.size(), 1u);
+}
+
+TEST(Logging, FilteredWarnStillCounts)
+{
+    // Tests gate on warnCount(); the level must not hide misbehavior.
+    SinkCapture cap;
+    log::setLevel(LogLevel::Silent);
+    const unsigned before = warnCount();
+    mmr_warn("silent but counted");
+    EXPECT_EQ(warnCount(), before + 1);
+    EXPECT_TRUE(cap.lines.empty());
+}
+
+TEST(Logging, EnabledMatchesThreshold)
+{
+    SinkCapture cap;
+    log::setLevel(LogLevel::Info);
+    EXPECT_FALSE(log::enabled(LogLevel::Debug));
+    EXPECT_TRUE(log::enabled(LogLevel::Info));
+    EXPECT_TRUE(log::enabled(LogLevel::Warn));
+    log::setLevel(LogLevel::Silent);
+    EXPECT_FALSE(log::enabled(LogLevel::Warn));
+}
+
+TEST(Logging, SimclockReportsKernelActivity)
+{
+    // The default sink prefixes "[cycle N]" when a kernel is stepping;
+    // the underlying signal is the simclock.
+    EXPECT_FALSE(simclock::active());
+    simclock::set(1234);
+    EXPECT_TRUE(simclock::active());
+    EXPECT_EQ(simclock::now(), 1234u);
+    simclock::clear();
+    EXPECT_FALSE(simclock::active());
 }
 
 } // namespace

@@ -65,6 +65,93 @@ TEST(SteadyState, StaysSteadyOnceDeclared)
     EXPECT_EQ(det.steadyAtWindow(), at);
 }
 
+TEST(SteadyState, NeverSteadyStreamNeverDeclares)
+{
+    // An oscillating metric (e.g. a bistable queue) must not be
+    // declared steady no matter how long it runs.
+    SteadyStateDetector det(1000, 0.10, 3);
+    for (int i = 0; i < 500; ++i)
+        det.addWindow(i % 2 ? 100.0 : 10.0);
+    EXPECT_FALSE(det.steady());
+    EXPECT_EQ(det.windowsSeen(), 500u);
+}
+
+TEST(SteadyState, ToleranceBoundaryCountsAsAgreement)
+{
+    // |100 - 90| / max(100, 90) == 0.10 exactly: agreement is <=.
+    SteadyStateDetector det(100, 0.10, 2);
+    det.addWindow(90.0);
+    det.addWindow(100.0); // exactly on the boundary: agree (1)
+    det.addWindow(90.0);  // boundary again: agree (2)
+    EXPECT_TRUE(det.steady());
+}
+
+TEST(SteadyState, JustBeyondToleranceResets)
+{
+    SteadyStateDetector det(100, 0.10, 1);
+    det.addWindow(89.0);
+    det.addWindow(100.0); // 11/100 = 0.11 > 0.10: disagree
+    EXPECT_FALSE(det.steady());
+}
+
+TEST(SteadyState, NegativeValuesUseAbsoluteScale)
+{
+    // Metrics can legitimately go negative (e.g. a drift estimate);
+    // the relative-agreement scale uses magnitudes.
+    SteadyStateDetector det(100, 0.10, 2);
+    det.addWindow(-50.0);
+    det.addWindow(-52.0);
+    det.addWindow(-51.0);
+    EXPECT_TRUE(det.steady());
+
+    SteadyStateDetector flip(100, 0.10, 1);
+    flip.addWindow(-50.0);
+    flip.addWindow(50.0); // sign flip: 100/50 = 2.0 >> tol
+    EXPECT_FALSE(flip.steady());
+}
+
+TEST(SteadyState, ZeroThenNonzeroDisagrees)
+{
+    // From exactly 0 to any nonzero value, the relative change is
+    // ~1.0 regardless of magnitude: never a silent pass.
+    SteadyStateDetector det(100, 0.10, 1);
+    det.addWindow(0.0);
+    det.addWindow(1e-6);
+    EXPECT_FALSE(det.steady());
+}
+
+TEST(SteadyState, SteadyAtCycleArithmetic)
+{
+    // steadyAtCycle() = (index of the declaring window + 1) x window
+    // length: the cycle count *consumed* when steadiness appeared.
+    SteadyStateDetector det(250, 0.10, 1);
+    det.addWindow(7.0);
+    EXPECT_FALSE(det.steady()) << "one window can never be steady";
+    det.addWindow(7.1);
+    ASSERT_TRUE(det.steady());
+    EXPECT_EQ(det.steadyAtWindow(), 1u);
+    EXPECT_EQ(det.steadyAtCycle(), 500u);
+
+    // With a longer requirement the declaring window moves out.
+    SteadyStateDetector det3(250, 0.10, 3);
+    for (double v : {7.0, 7.1, 7.0, 7.1})
+        det3.addWindow(v);
+    ASSERT_TRUE(det3.steady());
+    EXPECT_EQ(det3.steadyAtWindow(), 3u);
+    EXPECT_EQ(det3.steadyAtCycle(), 1000u);
+}
+
+TEST(SteadyState, RejectsDegenerateWindowParameters)
+{
+    // Cycle is unsigned, so "negative" lengths arrive as zero or as a
+    // huge wrapped value; zero must be refused outright, as must
+    // non-positive tolerances and a zero stable-window requirement.
+    EXPECT_DEATH(SteadyStateDetector(0, 0.10, 3), "window length");
+    EXPECT_DEATH(SteadyStateDetector(100, 0.0, 3), "tolerance");
+    EXPECT_DEATH(SteadyStateDetector(100, -0.5, 3), "tolerance");
+    EXPECT_DEATH(SteadyStateDetector(100, 0.10, 0), "stable window");
+}
+
 TEST(SteadyStateHarness, AutoWarmupProducesSaneResults)
 {
     ExperimentConfig cfg;

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * End-to-end tests of the observability session through the §5
+ * experiment harness: the sampler/registry outputs must reproduce the
+ * MetricsRecorder aggregates, same-seed runs must produce bit-identical
+ * trace/stats files, and per-run output paths must not collide.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/single_router.hh"
+#include "obs/obs_config.hh"
+
+namespace mmr
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing output file " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+ExperimentConfig
+smallConfig()
+{
+    ExperimentConfig cfg;
+    cfg.router.numPorts = 4;
+    cfg.router.vcsPerPort = 32;
+    cfg.offeredLoad = 0.6;
+    cfg.warmupCycles = 2000;
+    cfg.measureCycles = 4000;
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(ObsSession, StatsFileReproducesRecorderAggregates)
+{
+    const std::string dir = ::testing::TempDir();
+    ExperimentConfig cfg = smallConfig();
+    cfg.obs.statsJsonPath = dir + "obs_xcheck.json";
+    cfg.obs.samplePeriod = 500;
+
+    const ExperimentResult r = runSingleRouter(cfg);
+    const std::string s = slurp(cfg.obs.statsJsonPath);
+
+    // The harness registers its recorder aggregates as gauges; the
+    // final registry dump must agree exactly with the returned result.
+    const std::string flits =
+        "\"harness.measured_flits\": {\"kind\": \"gauge\", \"value\": " +
+        obs::formatNumber(static_cast<double>(r.flitsDelivered)) + "}";
+    EXPECT_NE(s.find(flits), std::string::npos)
+        << "wanted: " << flits << "\nin:\n" << s.substr(0, 2000);
+
+    const std::string delay =
+        "\"harness.mean_delay_cycles\": {\"kind\": \"gauge\", "
+        "\"value\": " +
+        obs::formatNumber(r.meanDelayCycles) + "}";
+    EXPECT_NE(s.find(delay), std::string::npos) << "wanted: " << delay;
+
+    // The sampled series rides in the same file.
+    EXPECT_NE(s.find("\"period\": 500"), std::string::npos);
+    EXPECT_NE(s.find("router0.flits.injected"), std::string::npos);
+}
+
+#if MMR_TRACING_ENABLED
+TEST(ObsSession, TraceCoversTheFlitLifecycle)
+{
+    const std::string dir = ::testing::TempDir();
+    ExperimentConfig cfg = smallConfig();
+    cfg.obs.tracePath = dir + "obs_lifecycle.json";
+
+    runSingleRouter(cfg);
+    const std::string s = slurp(cfg.obs.tracePath);
+
+    // ISSUE acceptance: flit lifecycle + scheduler grants + admission
+    // decisions all present in one Perfetto-loadable file.
+    for (const char *name : {"\"name\": \"inject\"",
+                             "\"name\": \"vc_alloc\"",
+                             "\"name\": \"grant\"",
+                             "\"name\": \"xmit\"",
+                             "\"name\": \"admit_cbr\"",
+                             "\"name\": \"sched.matching_size\""})
+        EXPECT_NE(s.find(name), std::string::npos) << name;
+    EXPECT_NE(s.find("\"traceEvents\": ["), std::string::npos);
+}
+
+TEST(ObsSession, CategoryFilterNarrowsTheTrace)
+{
+    const std::string dir = ::testing::TempDir();
+    ExperimentConfig cfg = smallConfig();
+    cfg.obs.tracePath = dir + "obs_filtered.json";
+    cfg.obs.traceCats = "admission,setup";
+
+    runSingleRouter(cfg);
+    const std::string s = slurp(cfg.obs.tracePath);
+    EXPECT_NE(s.find("\"name\": \"admit_cbr\""), std::string::npos);
+    EXPECT_NE(s.find("\"name\": \"vc_alloc\""), std::string::npos);
+    EXPECT_EQ(s.find("\"name\": \"inject\""), std::string::npos)
+        << "flit events must be filtered out";
+    EXPECT_EQ(s.find("\"name\": \"grant\""), std::string::npos);
+}
+#endif // MMR_TRACING_ENABLED
+
+TEST(ObsSession, SameSeedRunsProduceBitIdenticalFiles)
+{
+    const std::string dir = ::testing::TempDir();
+
+    ExperimentConfig a = smallConfig();
+    a.obs.tracePath = dir + "obs_det_a.trace.json";
+    a.obs.statsJsonPath = dir + "obs_det_a.stats.json";
+    a.obs.samplePeriod = 500;
+    runSingleRouter(a);
+
+    ExperimentConfig b = smallConfig();
+    b.obs.tracePath = dir + "obs_det_b.trace.json";
+    b.obs.statsJsonPath = dir + "obs_det_b.stats.json";
+    b.obs.samplePeriod = 500;
+    runSingleRouter(b);
+
+    EXPECT_EQ(slurp(a.obs.tracePath), slurp(b.obs.tracePath))
+        << "trace files must be byte-identical for same-seed runs";
+    EXPECT_EQ(slurp(a.obs.statsJsonPath), slurp(b.obs.statsJsonPath))
+        << "stats files must be byte-identical for same-seed runs";
+}
+
+TEST(ObsSession, ResultCarriesThroughputProfile)
+{
+    ExperimentConfig cfg = smallConfig();
+    const ExperimentResult r = runSingleRouter(cfg);
+    EXPECT_GT(r.profile.cycles, 0u);
+    EXPECT_GT(r.profile.events, 0u);
+    EXPECT_GT(r.profile.wallSeconds, 0.0);
+    EXPECT_GT(r.profile.cyclesPerSec(), 0.0);
+    EXPECT_TRUE(r.profile.componentSeconds.empty())
+        << "attribution stays off unless obs.profileComponents";
+}
+
+TEST(ObsSession, ComponentProfilingAttributesTime)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.obs.profileComponents = true;
+    const ExperimentResult r = runSingleRouter(cfg);
+    ASSERT_FALSE(r.profile.componentSeconds.empty());
+    bool sawRouter = false;
+    for (const auto &[name, secs] : r.profile.componentSeconds)
+        sawRouter = sawRouter || name == "router";
+    EXPECT_TRUE(sawRouter) << "the router must appear in attribution";
+}
+
+TEST(ObsPath, SuffixInsertsBeforeTheExtension)
+{
+    EXPECT_EQ(obsPathWithSuffix("out/trace.json", "biased_2c-0.70"),
+              "out/trace-biased_2c-0.70.json");
+    EXPECT_EQ(obsPathWithSuffix("trace", "x"), "trace-x");
+    EXPECT_EQ(obsPathWithSuffix("a.b/trace", "x"), "a.b/trace-x")
+        << "a dot in a directory name is not an extension";
+    EXPECT_EQ(obsPathWithSuffix("", "x"), "");
+    EXPECT_EQ(obsPathWithSuffix("trace.json", ""), "trace.json");
+}
+
+} // namespace
+} // namespace mmr

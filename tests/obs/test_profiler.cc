@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for simulator self-profiling: wall-clock attribution through
+ * the kernel, the throughput arithmetic every ExperimentResult
+ * carries, and the JSON the perf-baseline script consumes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/profiler.hh"
+#include "sim/kernel.hh"
+
+namespace mmr
+{
+namespace
+{
+
+class Spinner : public Clocked
+{
+  public:
+    void evaluate(Cycle now) override { (void)now; }
+    void advance(Cycle now) override
+    {
+        (void)now;
+        // A little real work so the profiled time is nonzero.
+        for (int i = 0; i < 1000; ++i)
+            sink = sink * 31 + i;
+    }
+    volatile unsigned sink = 1;
+};
+
+TEST(SimProfile, ThroughputArithmetic)
+{
+    SimProfile p;
+    p.wallSeconds = 2.0;
+    p.cycles = 1000;
+    p.events = 500;
+    EXPECT_DOUBLE_EQ(p.cyclesPerSec(), 500.0);
+    EXPECT_DOUBLE_EQ(p.eventsPerSec(), 250.0);
+
+    // A zero wall clock (too fast to measure) must not divide by zero.
+    p.wallSeconds = 0.0;
+    EXPECT_EQ(p.cyclesPerSec(), 0.0);
+    EXPECT_EQ(p.eventsPerSec(), 0.0);
+}
+
+TEST(Profiler, CollectWithoutProfilingSkipsAttribution)
+{
+    Kernel kernel;
+    Spinner s;
+    kernel.add(&s, "spinner");
+    kernel.run(10);
+
+    const SimProfile p = collectProfile(kernel, 0.5, 42);
+    EXPECT_EQ(p.cycles, 10u);
+    EXPECT_EQ(p.events, 42u);
+    EXPECT_DOUBLE_EQ(p.wallSeconds, 0.5);
+    EXPECT_TRUE(p.componentSeconds.empty())
+        << "attribution is opt-in (it adds clock reads per phase)";
+}
+
+TEST(Profiler, EnabledProfilingAttributesWallTime)
+{
+    Kernel kernel;
+    Spinner busy, unnamed;
+    kernel.add(&busy, "busy");
+    kernel.add(&unnamed); // unnamed: gets a positional name
+    kernel.enableProfiling(true);
+    kernel.run(50);
+
+    const SimProfile p = collectProfile(kernel, 1.0, 0);
+    ASSERT_EQ(p.componentSeconds.size(), 2u);
+    EXPECT_EQ(p.componentSeconds[0].first, "busy");
+    EXPECT_EQ(p.componentSeconds[1].first, "component1");
+    EXPECT_GT(p.componentSeconds[0].second, 0.0);
+}
+
+TEST(Profiler, JsonCarriesEveryBaselineField)
+{
+    SimProfile p;
+    p.wallSeconds = 0.25;
+    p.cycles = 1000;
+    p.events = 250;
+    p.componentSeconds = {{"router", 0.2}, {"workload", 0.05}};
+
+    std::ostringstream os;
+    writeProfileJson(os, p);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"wall_seconds\": 0.25"), std::string::npos) << s;
+    EXPECT_NE(s.find("\"cycles\": 1000"), std::string::npos);
+    EXPECT_NE(s.find("\"events\": 250"), std::string::npos);
+    EXPECT_NE(s.find("\"cycles_per_sec\": 4000"), std::string::npos);
+    EXPECT_NE(s.find("\"events_per_sec\": 1000"), std::string::npos);
+    EXPECT_NE(s.find("\"router\": 0.2"), std::string::npos);
+    EXPECT_NE(s.find("\"workload\": 0.05"), std::string::npos);
+}
+
+TEST(Profiler, JsonWithNoComponentsIsWellFormed)
+{
+    SimProfile p;
+    std::ostringstream os;
+    writeProfileJson(os, p);
+    EXPECT_NE(os.str().find("\"components\": {}"), std::string::npos)
+        << os.str();
+}
+
+TEST(Profiler, HumanSummaryMentionsThroughput)
+{
+    SimProfile p;
+    p.wallSeconds = 1.0;
+    p.cycles = 2000000;
+    p.events = 1000000;
+    p.componentSeconds = {{"router", 0.75}, {"workload", 0.25}};
+
+    std::ostringstream os;
+    printProfile(os, p);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("2 Mcycles/s"), std::string::npos) << s;
+    EXPECT_NE(s.find("1 Mevents/s"), std::string::npos);
+    EXPECT_NE(s.find("router: 0.75 s (75% of attributed time)"),
+              std::string::npos)
+        << s;
+}
+
+} // namespace
+} // namespace mmr

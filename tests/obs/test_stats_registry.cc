@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the hierarchical stats registry: probe registration,
+ * selection patterns, deterministic JSON dumps and the round-trip
+ * number formatter every observability output shares.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "obs/stats_registry.hh"
+
+namespace mmr
+{
+namespace
+{
+
+TEST(FormatNumber, IntegersPrintWithoutFraction)
+{
+    EXPECT_EQ(obs::formatNumber(0.0), "0");
+    EXPECT_EQ(obs::formatNumber(42.0), "42");
+    EXPECT_EQ(obs::formatNumber(-7.0), "-7");
+    // A counter past 2^32 still prints exactly.
+    EXPECT_EQ(obs::formatNumber(68719476736.0), "68719476736");
+}
+
+TEST(FormatNumber, NonIntegersRoundTrip)
+{
+    const double v = 0.1 + 0.2; // classic non-representable sum
+    const std::string s = obs::formatNumber(v);
+    EXPECT_EQ(std::stod(s), v) << "parse(print(v)) must equal v";
+}
+
+TEST(FormatNumber, NonFiniteClampsToZero)
+{
+    // JSON has no inf/nan tokens; a defensive probe bug must not
+    // produce an unparseable stats file.
+    EXPECT_EQ(obs::formatNumber(1.0 / 0.0), "0");
+    EXPECT_EQ(obs::formatNumber(0.0 / 0.0), "0");
+}
+
+TEST(StatsRegistry, ProbesReadLiveValues)
+{
+    StatsRegistry reg;
+    std::uint64_t counter = 0;
+    double level = 1.5;
+    reg.addCounter("a.count", &counter);
+    reg.addGauge("a.level", [&] { return level; });
+
+    EXPECT_EQ(reg.value("a.count"), 0.0);
+    counter = 7;
+    level = -2.0;
+    EXPECT_EQ(reg.value("a.count"), 7.0);
+    EXPECT_EQ(reg.value("a.level"), -2.0);
+    EXPECT_TRUE(reg.has("a.count"));
+    EXPECT_FALSE(reg.has("a.miss"));
+}
+
+TEST(StatsRegistry, NamesAreSorted)
+{
+    StatsRegistry reg;
+    reg.addGauge("z.last", [] { return 0.0; });
+    reg.addGauge("a.first", [] { return 0.0; });
+    reg.addGauge("m.middle", [] { return 0.0; });
+    const auto names = reg.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a.first");
+    EXPECT_EQ(names[1], "m.middle");
+    EXPECT_EQ(names[2], "z.last");
+}
+
+TEST(StatsRegistry, SelectionPatterns)
+{
+    StatsRegistry reg;
+    reg.addGauge("router0.in0.occupancy", [] { return 0.0; });
+    reg.addGauge("router0.in1.occupancy", [] { return 0.0; });
+    reg.addGauge("router0.flits.forwarded", [] { return 0.0; });
+    reg.addGauge("net.delivered", [] { return 0.0; });
+
+    // Empty selection = everything.
+    EXPECT_EQ(reg.select({}).size(), 4u);
+    EXPECT_EQ(reg.select({"*"}).size(), 4u);
+
+    // Prefix glob and subtree-dot forms.
+    EXPECT_EQ(reg.select({"router0.in*"}).size(), 2u);
+    EXPECT_EQ(reg.select({"router0."}).size(), 3u);
+
+    // Exact names select one; patterns merge without duplicates.
+    const auto both =
+        reg.select({"net.delivered", "router0.in0.occupancy"});
+    ASSERT_EQ(both.size(), 2u);
+    EXPECT_EQ(reg.entry(both[0]).name, "net.delivered");
+    EXPECT_EQ(reg.entry(both[1]).name, "router0.in0.occupancy");
+
+    const auto merged = reg.select({"router0.in*", "router0."});
+    EXPECT_EQ(merged.size(), 3u);
+}
+
+TEST(StatsRegistryDeath, UnknownExactNamePanics)
+{
+    StatsRegistry reg;
+    reg.addGauge("real.stat", [] { return 0.0; });
+    // A typo must not silently sample nothing.
+    EXPECT_DEATH(reg.select({"reel.stat"}), "unknown statistic");
+    EXPECT_DEATH(reg.value("reel.stat"), "unknown statistic");
+}
+
+TEST(StatsRegistryDeath, DuplicateRegistrationPanics)
+{
+    StatsRegistry reg;
+    reg.addGauge("dup", [] { return 0.0; });
+    EXPECT_DEATH(reg.addCounter("dup", [] { return 0.0; }),
+                 "registered twice");
+}
+
+TEST(StatsRegistry, JsonDumpIsSortedAndTyped)
+{
+    StatsRegistry reg;
+    std::uint64_t n = 3;
+    reg.addCounter("b.count", &n);
+    reg.addGauge("a.level", [] { return 0.5; });
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"a.level\": {\"kind\": \"gauge\", "
+                     "\"value\": 0.5}"),
+              std::string::npos)
+        << s;
+    EXPECT_NE(s.find("\"b.count\": {\"kind\": \"counter\", "
+                     "\"value\": 3}"),
+              std::string::npos)
+        << s;
+    EXPECT_LT(s.find("a.level"), s.find("b.count"))
+        << "dump must be name-sorted for deterministic files";
+}
+
+} // namespace
+} // namespace mmr

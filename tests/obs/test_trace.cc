@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the event tracer: category mask parsing, the global
+ * activation protocol the MMR_TRACE_* macros rely on, cycle-range and
+ * overflow behavior, and the Chrome trace-event JSON shape Perfetto
+ * loads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "base/types.hh"
+#include "obs/trace.hh"
+
+namespace mmr
+{
+namespace
+{
+
+TEST(TraceCatMask, ParsesListsAndAll)
+{
+    const std::uint32_t all =
+        (1u << static_cast<unsigned>(TraceCat::NumCats)) - 1;
+    EXPECT_EQ(traceCatMaskFromString(""), all);
+    EXPECT_EQ(traceCatMaskFromString("all"), all);
+
+    const std::uint32_t fs = traceCatMaskFromString("flit,sched");
+    EXPECT_EQ(fs, (1u << static_cast<unsigned>(TraceCat::Flit)) |
+                      (1u << static_cast<unsigned>(TraceCat::Sched)));
+
+    EXPECT_EQ(traceCatMaskFromString("credit"),
+              1u << static_cast<unsigned>(TraceCat::Credit));
+}
+
+TEST(TraceCatMask, UnknownCategoryIsAUserError)
+{
+    // mmr_fatal: a typo in --trace-cats must fail loudly, not trace
+    // nothing.
+    EXPECT_THROW(traceCatMaskFromString("flit,shced"),
+                 std::runtime_error);
+}
+
+TEST(Tracer, MacrosAreInertWithoutAnActiveTracer)
+{
+    ASSERT_EQ(Tracer::active(), nullptr);
+    EXPECT_FALSE(Tracer::wants(TraceCat::Flit));
+    // The disabled fast path: these must be safe no-ops.
+    MMR_TRACE_INSTANT(TraceCat::Flit, "inject", 1, 0, kInvalidConn);
+    MMR_TRACE_COUNTER(TraceCat::Sched, "matching", 1, 3.0);
+    SUCCEED();
+}
+
+TEST(Tracer, ActivationScopesTheGlobalPointer)
+{
+    {
+        Tracer t;
+        t.activate();
+        EXPECT_EQ(Tracer::active(), &t);
+        EXPECT_TRUE(Tracer::wants(TraceCat::Flit));
+        // The destructor deactivates.
+    }
+    EXPECT_EQ(Tracer::active(), nullptr);
+}
+
+TEST(Tracer, CategoryMaskGatesTheMacros)
+{
+    Tracer t;
+    t.setCategoryMask(traceCatMaskFromString("sched"));
+    t.activate();
+    EXPECT_FALSE(Tracer::wants(TraceCat::Flit));
+    EXPECT_TRUE(Tracer::wants(TraceCat::Sched));
+
+    MMR_TRACE_INSTANT(TraceCat::Flit, "inject", 1, 0, kInvalidConn);
+    EXPECT_EQ(t.eventCount(), 0u);
+    MMR_TRACE_INSTANT(TraceCat::Sched, "grant", 1, 0, kInvalidConn);
+    // With -DMMR_TRACING=OFF the sites vanish and nothing records.
+    EXPECT_EQ(t.eventCount(), MMR_TRACING_ENABLED ? 1u : 0u);
+}
+
+TEST(Tracer, CycleRangeFiltersRecords)
+{
+    Tracer t;
+    t.setCycleRange(10, 20);
+    t.instant(TraceCat::Flit, "early", 9, 0, kInvalidConn);
+    t.instant(TraceCat::Flit, "in", 10, 0, kInvalidConn);
+    t.instant(TraceCat::Flit, "in", 20, 0, kInvalidConn);
+    t.instant(TraceCat::Flit, "late", 21, 0, kInvalidConn);
+    t.counter(TraceCat::Sched, "c", 25, 1.0);
+    EXPECT_EQ(t.eventCount(), 2u);
+}
+
+TEST(Tracer, OverflowDropsAndCounts)
+{
+    Tracer t(/*max_events=*/2);
+    for (Cycle c = 0; c < 5; ++c)
+        t.instant(TraceCat::Flit, "e", c, 0, kInvalidConn);
+    EXPECT_EQ(t.eventCount(), 2u);
+    EXPECT_EQ(t.droppedEvents(), 3u);
+
+    std::ostringstream os;
+    t.writeChromeJson(os);
+    EXPECT_NE(os.str().find("\"dropped_events\": 3"), std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonShape)
+{
+    Tracer t;
+    t.instant(TraceCat::Flit, "inject", 42, 3, 7, 5);
+    t.instant(TraceCat::Setup, "probe", 50, 1, kInvalidConn);
+    t.counter(TraceCat::Sched, "sched.matching_size", 60, 2.5);
+
+    std::ostringstream os;
+    t.writeChromeJson(os);
+    const std::string s = os.str();
+
+    EXPECT_NE(s.find("\"displayTimeUnit\": \"ns\""), std::string::npos);
+    // Instant event: ts = cycle, tid = lane, scoped to the thread,
+    // conn + a0 in args.
+    EXPECT_NE(s.find("{\"name\": \"inject\", \"cat\": \"flit\", "
+                     "\"ph\": \"i\", \"ts\": 42, \"pid\": 0, "
+                     "\"tid\": 3, \"s\": \"t\", "
+                     "\"args\": {\"conn\": 7, \"a0\": 5}}"),
+              std::string::npos)
+        << s;
+    // kInvalidConn and negative args are omitted entirely.
+    EXPECT_NE(s.find("{\"name\": \"probe\", \"cat\": \"setup\", "
+                     "\"ph\": \"i\", \"ts\": 50, \"pid\": 0, "
+                     "\"tid\": 1, \"s\": \"t\", \"args\": {}}"),
+              std::string::npos)
+        << s;
+    // Counter event renders as a graph track.
+    EXPECT_NE(s.find("{\"name\": \"sched.matching_size\", "
+                     "\"cat\": \"sched\", \"ph\": \"C\", \"ts\": 60, "
+                     "\"pid\": 0, \"tid\": 0, "
+                     "\"args\": {\"value\": 2.5}}"),
+              std::string::npos)
+        << s;
+}
+
+TEST(Tracer, EmptyTraceIsStillValidJson)
+{
+    Tracer t;
+    std::ostringstream os;
+    t.writeChromeJson(os);
+    EXPECT_EQ(os.str(),
+              "{\"displayTimeUnit\": \"ns\", \"otherData\": "
+              "{\"dropped_events\": 0},\n\"traceEvents\": [\n]}\n");
+}
+
+TEST(TracerDeath, SecondActiveTracerIsABug)
+{
+    Tracer first;
+    first.activate();
+    Tracer second;
+    EXPECT_DEATH(second.activate(), "already active");
+}
+
+TEST(TracerDeath, InvertedCycleRangeIsABug)
+{
+    Tracer t;
+    EXPECT_DEATH(t.setCycleRange(20, 10), "inverted");
+}
+
+} // namespace
+} // namespace mmr

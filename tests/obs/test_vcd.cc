@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the VCD waveform writer: scope nesting from dotted paths,
+ * lazy header/timestamp emission, value deduplication, and wire
+ * bit-vector rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/vcd.hh"
+
+namespace mmr
+{
+namespace
+{
+
+TEST(VcdWriter, DottedPathsBecomeNestedScopes)
+{
+    std::ostringstream os;
+    VcdWriter vcd(os);
+    vcd.addReal("router0.in0.occupancy");
+    vcd.addReal("router0.in1.occupancy");
+    vcd.addReal("net.delivered");
+    vcd.tick(0); // forces the header out
+
+    const std::string s = os.str();
+    EXPECT_NE(s.find("$timescale 1 ns $end"), std::string::npos);
+    // Adjacent signals share the open "router0" scope; in0 closes
+    // before in1 opens, and net opens at top level afterwards.
+    const auto r0 = s.find("$scope module router0 $end");
+    const auto in0 = s.find("$scope module in0 $end");
+    const auto in1 = s.find("$scope module in1 $end");
+    const auto net = s.find("$scope module net $end");
+    ASSERT_NE(r0, std::string::npos);
+    ASSERT_NE(in0, std::string::npos);
+    ASSERT_NE(in1, std::string::npos);
+    ASSERT_NE(net, std::string::npos);
+    EXPECT_LT(r0, in0);
+    EXPECT_LT(in0, in1);
+    EXPECT_LT(in1, net);
+    // "router0" is opened once, not once per signal.
+    EXPECT_EQ(s.find("$scope module router0 $end", r0 + 1),
+              std::string::npos);
+    EXPECT_NE(s.find("$var real 64 ! occupancy $end"),
+              std::string::npos);
+    EXPECT_NE(s.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(VcdWriter, UnchangedValuesAreDeduplicated)
+{
+    std::ostringstream os;
+    VcdWriter vcd(os);
+    const auto id = vcd.addReal("occ");
+
+    vcd.tick(0);
+    vcd.set(id, 1.5);
+    vcd.tick(10);
+    vcd.set(id, 1.5); // unchanged: no record, no "#10" timestamp
+    vcd.tick(20);
+    vcd.set(id, 2.0);
+
+    const std::string s = os.str();
+    EXPECT_NE(s.find("#0\nr1.5 !"), std::string::npos) << s;
+    EXPECT_EQ(s.find("#10"), std::string::npos)
+        << "a tick with no changes must not emit a timestamp: " << s;
+    EXPECT_NE(s.find("#20\nr2 !"), std::string::npos) << s;
+}
+
+TEST(VcdWriter, WiresRenderAsBitVectors)
+{
+    std::ostringstream os;
+    VcdWriter vcd(os);
+    const auto id = vcd.addWire("flags", 4);
+    vcd.tick(3);
+    vcd.set(id, std::uint64_t{0b1010});
+    EXPECT_NE(os.str().find("#3\nb1010 !"), std::string::npos)
+        << os.str();
+}
+
+TEST(VcdWriter, SignalCodesStayInThePrintableRange)
+{
+    std::ostringstream os;
+    VcdWriter vcd(os);
+    // 100 signals exercises the base-94 rollover ('!'..'~', then two
+    // characters).
+    for (int i = 0; i < 100; ++i)
+        vcd.addReal("s" + std::to_string(i));
+    EXPECT_EQ(vcd.signalCount(), 100u);
+    vcd.tick(0);
+    const std::string s = os.str();
+    for (char c : s)
+        EXPECT_TRUE(c == '\n' || (c >= ' ' && c <= '~'))
+            << "non-printable byte " << int(c);
+    // Signal 94 wraps to a two-character code "!\"".
+    EXPECT_NE(s.find("$var real 64 !\" s94 $end"), std::string::npos);
+}
+
+TEST(VcdWriterDeath, LateRegistrationIsABug)
+{
+    std::ostringstream os;
+    VcdWriter vcd(os);
+    vcd.addReal("a");
+    vcd.tick(0);
+    EXPECT_DEATH(vcd.addReal("b"), "before the first tick");
+}
+
+TEST(VcdWriterDeath, TimeMustNotGoBackwards)
+{
+    std::ostringstream os;
+    VcdWriter vcd(os);
+    vcd.addReal("a");
+    vcd.tick(10);
+    EXPECT_DEATH(vcd.tick(5), "backwards");
+}
+
+} // namespace
+} // namespace mmr
