@@ -19,6 +19,7 @@
 #include "base/cli.hh"
 #include "base/table.hh"
 #include "harness/single_router.hh"
+#include "sim/sweep.hh"
 
 namespace mmr::bench
 {
@@ -50,6 +51,9 @@ struct SweepOptions
     ObsConfig obs;
     /** Print cycles/sec + events/sec per point to stderr. */
     bool printThroughput = false;
+    /** Worker threads for the points of one sweep (sim/sweep.hh);
+     * 1 = serial.  Results and digests are identical either way. */
+    unsigned jobs = 1;
 };
 
 /** Per-run observability config: suffix every output path. */
@@ -67,13 +71,13 @@ obsForRun(const ObsConfig &shared, const std::string &label, double load)
     return c;
 }
 
-/** Run one series over the load grid. */
+/** Run one series over the load grid, on opts.jobs worker threads. */
 inline std::vector<ExperimentResult>
 runSweep(const Series &series, const std::vector<double> &loads,
          const SweepOptions &opts)
 {
-    std::vector<ExperimentResult> results;
-    results.reserve(loads.size());
+    std::vector<ExperimentConfig> cfgs;
+    cfgs.reserve(loads.size());
     for (double load : loads) {
         ExperimentConfig cfg;
         cfg.router.scheduler = series.scheduler;
@@ -84,20 +88,23 @@ runSweep(const Series &series, const std::vector<double> &loads,
         cfg.seed = opts.seed;
         cfg.mix = opts.mix;
         cfg.obs = obsForRun(opts.obs, series.label, load);
-        results.push_back(runSingleRouter(cfg));
-        const SimProfile &prof = results.back().profile;
+        cfgs.push_back(std::move(cfg));
+    }
+    const auto progress = [&](std::size_t i,
+                              const ExperimentResult &r) {
         if (opts.printThroughput) {
             std::fprintf(stderr,
                          "  %-16s load %.2f done (%.0f cycles/s, "
                          "%.0f events/s)\n",
-                         series.label.c_str(), load,
-                         prof.cyclesPerSec(), prof.eventsPerSec());
+                         series.label.c_str(), loads[i],
+                         r.profile.cyclesPerSec(),
+                         r.profile.eventsPerSec());
         } else {
             std::fprintf(stderr, "  %-16s load %.2f done\n",
-                         series.label.c_str(), load);
+                         series.label.c_str(), loads[i]);
         }
-    }
-    return results;
+    };
+    return runExperiments(cfgs, opts.jobs, progress);
 }
 
 /**
@@ -137,6 +144,8 @@ addSweepFlags(Cli &cli)
     cli.flag("loads", "", "comma-separated loads (default: paper grid)");
     cli.flag("throughput", "0",
              "print simulator cycles/sec + events/sec per point");
+    cli.flag("jobs", "1",
+             "worker threads per sweep (0 = hardware concurrency)");
     addObsFlags(cli);
 }
 
@@ -150,6 +159,9 @@ sweepOptions(const Cli &cli)
     o.obs = obsConfigFromCli(cli);
     o.printThroughput = cli.boolean("throughput") ||
                         o.obs.profileComponents;
+    const long jobs = cli.integer("jobs");
+    o.jobs = jobs == 0 ? defaultJobs()
+                       : static_cast<unsigned>(jobs < 1 ? 1 : jobs);
     return o;
 }
 

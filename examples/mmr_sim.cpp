@@ -35,6 +35,7 @@
 #include "obs/obs_config.hh"
 #include "obs/profiler.hh"
 #include "sim/kernel.hh"
+#include "sim/sweep.hh"
 
 namespace
 {
@@ -83,6 +84,52 @@ parseTopology(const std::string &spec, Rng &rng)
               "' (want meshWxH|torusWxH|ringN|irregularN)");
 }
 
+/**
+ * Several --load values: run the points through the sweep runner on
+ * --jobs workers and print one row per load.  Observability outputs
+ * get a per-load path suffix so concurrent points never share a file.
+ */
+int
+runRouterSweep(ExperimentConfig base,
+               const std::vector<std::string> &loads, unsigned jobs)
+{
+    std::vector<ExperimentConfig> cfgs;
+    cfgs.reserve(loads.size());
+    for (const std::string &l : loads) {
+        ExperimentConfig cfg = base;
+        cfg.offeredLoad = std::stod(l);
+        cfg.obs.tracePath = obsPathWithSuffix(cfg.obs.tracePath, l);
+        cfg.obs.statsJsonPath =
+            obsPathWithSuffix(cfg.obs.statsJsonPath, l);
+        cfg.obs.statsCsvPath =
+            obsPathWithSuffix(cfg.obs.statsCsvPath, l);
+        cfg.obs.vcdPath = obsPathWithSuffix(cfg.obs.vcdPath, l);
+        cfgs.push_back(std::move(cfg));
+    }
+    const auto results = runExperiments(
+        cfgs, jobs, [&](std::size_t i, const ExperimentResult &r) {
+            std::fprintf(stderr, "  load %s done (%.0f cycles/s)\n",
+                         loads[i].c_str(), r.profile.cyclesPerSec());
+        });
+
+    Table t({"offered_load", "achieved", "flits", "mean_delay_cyc",
+             "p99_cyc", "jitter_cyc", "utilization", "rejects"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ExperimentResult &r = results[i];
+        t.addRow({Table::num(r.offeredLoad, 2),
+                  Table::num(r.achievedLoad, 3),
+                  std::to_string(r.flitsDelivered),
+                  Table::num(r.meanDelayCycles),
+                  Table::num(r.p99DelayCycles, 1),
+                  Table::num(r.meanJitterCycles),
+                  Table::num(r.utilization, 3),
+                  std::to_string(r.injectionRejects)});
+    }
+    t.print(std::cout);
+    t.printCsv(std::cout, "load_sweep");
+    return 0;
+}
+
 int
 runRouterMode(const Cli &cli)
 {
@@ -97,7 +144,6 @@ runRouterMode(const Cli &cli)
     cfg.router.scheduler = schedulerKindFromString(cli.str("sched"));
     cfg.router.concurrencyFactor = cli.real("concurrency");
     cfg.router.bestEffortReserve = cli.real("be-reserve");
-    cfg.offeredLoad = cli.real("load");
     cfg.measureCycles = static_cast<Cycle>(cli.integer("cycles"));
     cfg.warmupCycles = static_cast<Cycle>(cli.integer("warmup"));
     cfg.autoWarmup = cli.boolean("auto-warmup");
@@ -114,6 +160,16 @@ runRouterMode(const Cli &cli)
     cfg.mix.vbrProfile.framesPerSecond = cli.real("fps");
     cfg.mix.vbrProfile.peakToMean = cli.real("peak");
     cfg.obs = obsConfigFromCli(cli);
+
+    const auto loads = cli.list("load");
+    const long jobsFlag = cli.integer("jobs");
+    const unsigned jobs =
+        jobsFlag == 0 ? defaultJobs()
+                      : static_cast<unsigned>(jobsFlag < 1 ? 1
+                                                           : jobsFlag);
+    if (loads.size() > 1)
+        return runRouterSweep(cfg, loads, jobs);
+    cfg.offeredLoad = cli.real("load");
 
     const ExperimentResult r = runSingleRouter(cfg);
     reportProfile(cli, r.profile);
@@ -286,7 +342,12 @@ main(int argc, char **argv)
                  "biased|fixed|age|output-driven|autonet|islip|perfect");
         cli.flag("candidates", "8", "candidates per input port");
         cli.flag("vcs", "256", "virtual channels per port");
-        cli.flag("load", "0.7", "offered load fraction");
+        cli.flag("load", "0.7",
+                 "offered load fraction; a comma-separated list runs "
+                 "a sweep (see --jobs)");
+        cli.flag("jobs", "1",
+                 "worker threads for a --load sweep "
+                 "(0 = hardware concurrency)");
         cli.flag("cycles", "100000", "measured cycles");
         cli.flag("seed", "42", "random seed");
         // router mode

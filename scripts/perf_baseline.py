@@ -1,28 +1,38 @@
 #!/usr/bin/env python3
 """Record or check the simulator throughput baseline.
 
-Runs the Figure 4 configuration (8x8 router, 256 VCs/port, biased
-scheduler with 8 candidates, 70% offered CBR load) through
-``examples/mmr_sim --profile-json`` several times and writes the best
-run's cycles/sec + events/sec to ``BENCH_throughput.json``.  A
-committed reference lives in ``results/BENCH_throughput.json`` so a
-performance PR can prove itself:
+Measures two datapoints through ``examples/mmr_sim``:
+
+* single run — the Figure 4 configuration (8x8 router, 256 VCs/port,
+  biased scheduler with 8 candidates, 70% offered CBR load), best of
+  ``--repeat`` runs, via ``--profile-json``;
+* sweep — the Figure 4 load grid (7 points) executed serially and
+  with ``--jobs=N`` worker threads, recording wall time and speedup.
+
+Each invocation *appends* one entry (with host metadata: CPU model,
+core count, compiler, git SHA) to the history kept in
+``results/BENCH_throughput.json``, so the committed file documents the
+performance trajectory instead of a single point:
 
     scripts/perf_baseline.py --build build                # record
-    scripts/perf_baseline.py --build build --check \\
-        --baseline results/BENCH_throughput.json          # compare
+    scripts/perf_baseline.py --build build --check        # compare
 
-``--check`` exits non-zero when cycles/sec regresses by more than
-``--tolerance`` (default 20%, generous because CI machines vary).
-Wall-clock numbers are inherently machine-dependent: regenerate the
-committed baseline when touching it, on an otherwise idle machine.
+``--check`` compares a fresh single-run measurement against the last
+recorded entry (legacy flat-dict baselines are also understood) and
+exits non-zero when cycles/sec regresses by more than ``--tolerance``
+(default 20%, generous because CI machines vary).  Wall-clock numbers
+are inherently machine-dependent: record new entries on an otherwise
+idle machine.
 """
 
 import argparse
+import datetime
 import json
+import os
 import pathlib
 import subprocess
 import sys
+import time
 
 FIG4_ARGS = [
     "--mode=router",
@@ -36,25 +46,98 @@ FIG4_ARGS = [
     "--seed=42",
 ]
 
+SWEEP_LOADS = "0.10,0.30,0.50,0.70,0.80,0.90,0.95"
 
-def run_once(sim: pathlib.Path, profile_path: pathlib.Path) -> dict:
+CONFIG_NOTE = ("fig4: 8x8 router, 256 VCs/port, biased 8C, "
+               "70% CBR load, 100k measured cycles; sweep = same "
+               "config over the 7-point fig4 load grid")
+
+
+def run_single(sim: pathlib.Path, profile_path: pathlib.Path) -> dict:
     cmd = [str(sim), *FIG4_ARGS, f"--profile-json={profile_path}"]
     subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
                    stderr=subprocess.DEVNULL)
     return json.loads(profile_path.read_text())
 
 
+def run_sweep(sim: pathlib.Path, jobs: int) -> float:
+    """Wall seconds for the fig4 load grid at the given worker count."""
+    cmd = [str(sim), "--mode=router", "--ports=8", "--vcs=256",
+           "--sched=biased", "--candidates=8", "--warmup=20000",
+           "--cycles=100000", "--seed=42",
+           f"--load={SWEEP_LOADS}", f"--jobs={jobs}"]
+    start = time.monotonic()
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
+                   stderr=subprocess.DEVNULL)
+    return time.monotonic() - start
+
+
+def cpu_model() -> str:
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def compiler_id(build: pathlib.Path) -> str:
+    """The compiler CMake configured the build with, with its version."""
+    cxx = "c++"
+    cache = build / "CMakeCache.txt"
+    try:
+        for line in cache.read_text().splitlines():
+            if line.startswith("CMAKE_CXX_COMPILER:"):
+                cxx = line.split("=", 1)[1].strip()
+                break
+    except OSError:
+        pass
+    try:
+        out = subprocess.run([cxx, "--version"], check=True,
+                             capture_output=True, text=True)
+        return out.stdout.splitlines()[0].strip()
+    except (OSError, subprocess.CalledProcessError, IndexError):
+        return cxx
+
+
+def git_sha() -> str:
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"], check=True,
+                             capture_output=True, text=True)
+        sha = out.stdout.strip()
+        dirty = subprocess.run(["git", "status", "--porcelain"],
+                               check=True, capture_output=True,
+                               text=True)
+        return sha + ("-dirty" if dirty.stdout.strip() else "")
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def last_entry(data: dict) -> dict:
+    """The newest record, accepting the legacy flat-dict schema."""
+    if "entries" in data:
+        return data["entries"][-1]
+    return data
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build", default="build",
                         help="build directory containing examples/mmr_sim")
-    parser.add_argument("-o", "--output", default="BENCH_throughput.json",
-                        help="where to write the recorded baseline")
+    parser.add_argument("-o", "--output",
+                        default="results/BENCH_throughput.json",
+                        help="history file to append the new entry to")
     parser.add_argument("--repeat", type=int, default=3,
-                        help="runs to take (best run is recorded)")
+                        help="single-run repetitions (best is recorded)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="sweep worker threads (0 = cpu count)")
+    parser.add_argument("--no-sweep", action="store_true",
+                        help="skip the sweep datapoint (single run only)")
     parser.add_argument("--check", action="store_true",
                         help="compare against --baseline instead of "
-                             "overwriting it")
+                             "recording")
     parser.add_argument("--baseline",
                         default="results/BENCH_throughput.json",
                         help="reference file for --check")
@@ -62,14 +145,15 @@ def main() -> int:
                         help="allowed fractional cycles/sec regression")
     args = parser.parse_args()
 
-    sim = pathlib.Path(args.build) / "examples" / "mmr_sim"
+    build = pathlib.Path(args.build)
+    sim = build / "examples" / "mmr_sim"
     if not sim.exists():
         sys.exit(f"error: {sim} not found (build the project first)")
 
     profile_path = pathlib.Path(args.output).with_suffix(".tmp.json")
     best = None
     for i in range(max(1, args.repeat)):
-        prof = run_once(sim, profile_path)
+        prof = run_single(sim, profile_path)
         print(f"run {i + 1}/{args.repeat}: "
               f"{prof['cycles_per_sec']:.0f} cycles/s, "
               f"{prof['events_per_sec']:.0f} events/s")
@@ -77,20 +161,12 @@ def main() -> int:
             best = prof
     profile_path.unlink(missing_ok=True)
 
-    record = {
-        "config": "fig4: 8x8 router, 256 VCs/port, biased 8C, "
-                  "70% CBR load, 100k measured cycles",
-        "args": FIG4_ARGS,
-        "cycles": best["cycles"],
-        "events": best["events"],
-        "cycles_per_sec": best["cycles_per_sec"],
-        "events_per_sec": best["events_per_sec"],
-    }
-
     if args.check:
-        ref = json.loads(pathlib.Path(args.baseline).read_text())
-        floor = ref["cycles_per_sec"] * (1.0 - args.tolerance)
-        print(f"baseline {ref['cycles_per_sec']:.0f} cycles/s, "
+        ref = last_entry(json.loads(
+            pathlib.Path(args.baseline).read_text()))
+        ref_cps = (ref.get("single") or ref)["cycles_per_sec"]
+        floor = ref_cps * (1.0 - args.tolerance)
+        print(f"baseline {ref_cps:.0f} cycles/s, "
               f"measured {best['cycles_per_sec']:.0f}, "
               f"floor {floor:.0f}")
         if best["cycles_per_sec"] < floor:
@@ -100,9 +176,55 @@ def main() -> int:
         print("OK: within tolerance")
         return 0
 
-    pathlib.Path(args.output).write_text(
-        json.dumps(record, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "git_sha": git_sha(),
+        "host": {
+            "cpu": cpu_model(),
+            "cores": os.cpu_count() or 1,
+            "compiler": compiler_id(build),
+        },
+        "single": {
+            "cycles": best["cycles"],
+            "events": best["events"],
+            "cycles_per_sec": best["cycles_per_sec"],
+            "events_per_sec": best["events_per_sec"],
+        },
+    }
+
+    if not args.no_sweep:
+        jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+        serial_s = run_sweep(sim, jobs=1)
+        parallel_s = run_sweep(sim, jobs=jobs)
+        entry["sweep"] = {
+            "points": len(SWEEP_LOADS.split(",")),
+            "jobs": jobs,
+            "serial_seconds": round(serial_s, 3),
+            "parallel_seconds": round(parallel_s, 3),
+            "speedup": round(serial_s / parallel_s, 3),
+        }
+        print(f"sweep: {serial_s:.2f}s serial, {parallel_s:.2f}s "
+              f"with {jobs} jobs "
+              f"({serial_s / parallel_s:.2f}x)")
+
+    out = pathlib.Path(args.output)
+    history = {"config": CONFIG_NOTE, "entries": []}
+    if out.exists():
+        data = json.loads(out.read_text())
+        if "entries" in data:
+            history["entries"] = data["entries"]
+        elif "cycles_per_sec" in data:
+            # Legacy flat record: keep it as the first history entry.
+            history["entries"].append({
+                "date": "legacy",
+                "single": {k: data[k] for k in
+                           ("cycles", "events", "cycles_per_sec",
+                            "events_per_sec") if k in data},
+            })
+    history["entries"].append(entry)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended entry {len(history['entries'])} to {out}")
     return 0
 
 

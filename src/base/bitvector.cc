@@ -1,16 +1,7 @@
 #include "base/bitvector.hh"
 
-#include <bit>
-
-#include "base/logging.hh"
-
 namespace mmr
 {
-
-BitVector::BitVector(std::size_t nbits)
-    : numBits(nbits), words((nbits + kWordBits - 1) / kWordBits, 0)
-{
-}
 
 void
 BitVector::resize(std::size_t nbits)
@@ -21,36 +12,6 @@ BitVector::resize(std::size_t nbits)
 }
 
 void
-BitVector::set(std::size_t i)
-{
-    mmr_assert(i < numBits, "bit index ", i, " out of range ", numBits);
-    words[i / kWordBits] |= (std::uint64_t{1} << (i % kWordBits));
-}
-
-void
-BitVector::clear(std::size_t i)
-{
-    mmr_assert(i < numBits, "bit index ", i, " out of range ", numBits);
-    words[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
-}
-
-void
-BitVector::assign(std::size_t i, bool v)
-{
-    if (v)
-        set(i);
-    else
-        clear(i);
-}
-
-bool
-BitVector::test(std::size_t i) const
-{
-    mmr_assert(i < numBits, "bit index ", i, " out of range ", numBits);
-    return (words[i / kWordBits] >> (i % kWordBits)) & 1;
-}
-
-void
 BitVector::setAll()
 {
     for (auto &w : words)
@@ -58,91 +19,13 @@ BitVector::setAll()
     trimTail();
 }
 
-void
-BitVector::clearAll()
-{
-    for (auto &w : words)
-        w = 0;
-}
-
-std::size_t
-BitVector::count() const
-{
-    std::size_t n = 0;
-    for (auto w : words)
-        n += std::popcount(w);
-    return n;
-}
-
-bool
-BitVector::none() const
-{
-    for (auto w : words)
-        if (w)
-            return false;
-    return true;
-}
-
-std::size_t
-BitVector::findFirst(std::size_t from) const
-{
-    if (from >= numBits)
-        return numBits;
-    std::size_t wi = from / kWordBits;
-    std::uint64_t w = words[wi] & (~std::uint64_t{0} << (from % kWordBits));
-    for (;;) {
-        if (w)
-            return wi * kWordBits + std::countr_zero(w);
-        if (++wi >= words.size())
-            return numBits;
-        w = words[wi];
-    }
-}
-
 std::vector<std::size_t>
 BitVector::setBits() const
 {
     std::vector<std::size_t> out;
     out.reserve(count());
-    for (std::size_t i = findFirst(); i < numBits; i = findNext(i))
-        out.push_back(i);
+    forEachSet([&out](std::size_t i) { out.push_back(i); });
     return out;
-}
-
-BitVector &
-BitVector::operator&=(const BitVector &o)
-{
-    mmr_assert(numBits == o.numBits, "bit vector size mismatch");
-    for (std::size_t i = 0; i < words.size(); ++i)
-        words[i] &= o.words[i];
-    return *this;
-}
-
-BitVector &
-BitVector::operator|=(const BitVector &o)
-{
-    mmr_assert(numBits == o.numBits, "bit vector size mismatch");
-    for (std::size_t i = 0; i < words.size(); ++i)
-        words[i] |= o.words[i];
-    return *this;
-}
-
-BitVector &
-BitVector::operator^=(const BitVector &o)
-{
-    mmr_assert(numBits == o.numBits, "bit vector size mismatch");
-    for (std::size_t i = 0; i < words.size(); ++i)
-        words[i] ^= o.words[i];
-    return *this;
-}
-
-BitVector &
-BitVector::andNot(const BitVector &o)
-{
-    mmr_assert(numBits == o.numBits, "bit vector size mismatch");
-    for (std::size_t i = 0; i < words.size(); ++i)
-        words[i] &= ~o.words[i];
-    return *this;
 }
 
 void

@@ -9,14 +9,22 @@
  * candidate sets in a few "gate delays".  This class is that hardware
  * structure: a packed dynamic bit vector with fast word-parallel
  * boolean algebra and set-bit iteration.
+ *
+ * Everything the per-cycle scheduling loop touches — set/clear/test,
+ * findFirst, forEachSet — is defined inline here so the hot path
+ * compiles down to the word-level bit twiddling (countr_zero over
+ * 64-bit words) with no call overhead.
  */
 
 #ifndef MMR_BASE_BITVECTOR_HH
 #define MMR_BASE_BITVECTOR_HH
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "base/logging.hh"
 
 namespace mmr
 {
@@ -27,7 +35,10 @@ class BitVector
     BitVector() = default;
 
     /** Create a vector of @p nbits bits, all clear. */
-    explicit BitVector(std::size_t nbits);
+    explicit BitVector(std::size_t nbits)
+        : numBits(nbits), words((nbits + kWordBits - 1) / kWordBits, 0)
+    {
+    }
 
     /** Number of bits tracked. */
     std::size_t size() const { return numBits; }
@@ -35,20 +46,68 @@ class BitVector
     /** Resize (new bits are clear; content preserved). */
     void resize(std::size_t nbits);
 
-    void set(std::size_t i);
-    void clear(std::size_t i);
-    void assign(std::size_t i, bool v);
-    bool test(std::size_t i) const;
+    void
+    set(std::size_t i)
+    {
+        mmr_assert(i < numBits, "bit index ", i, " out of range ",
+                   numBits);
+        words[i / kWordBits] |= (std::uint64_t{1} << (i % kWordBits));
+    }
+
+    void
+    clear(std::size_t i)
+    {
+        mmr_assert(i < numBits, "bit index ", i, " out of range ",
+                   numBits);
+        words[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+    }
+
+    void
+    assign(std::size_t i, bool v)
+    {
+        if (v)
+            set(i);
+        else
+            clear(i);
+    }
+
+    bool
+    test(std::size_t i) const
+    {
+        mmr_assert(i < numBits, "bit index ", i, " out of range ",
+                   numBits);
+        return (words[i / kWordBits] >> (i % kWordBits)) & 1;
+    }
 
     /** Set/clear every bit. */
     void setAll();
-    void clearAll();
+
+    void
+    clearAll()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
 
     /** Population count. */
-    std::size_t count() const;
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (auto w : words)
+            n += static_cast<std::size_t>(std::popcount(w));
+        return n;
+    }
 
     /** True when no bit is set. */
-    bool none() const;
+    bool
+    none() const
+    {
+        for (auto w : words)
+            if (w)
+                return false;
+        return true;
+    }
 
     /** True when at least one bit is set. */
     bool any() const { return !none(); }
@@ -58,21 +117,118 @@ class BitVector
      * there is none.  Enables "for (i = v.findFirst(); i < v.size();
      * i = v.findNext(i))" iteration over candidate sets.
      */
-    std::size_t findFirst(std::size_t from = 0) const;
+    std::size_t
+    findFirst(std::size_t from = 0) const
+    {
+        if (from >= numBits)
+            return numBits;
+        std::size_t wi = from / kWordBits;
+        std::uint64_t w =
+            words[wi] & (~std::uint64_t{0} << (from % kWordBits));
+        for (;;) {
+            if (w) {
+                return wi * kWordBits +
+                       static_cast<std::size_t>(std::countr_zero(w));
+            }
+            if (++wi >= words.size())
+                return numBits;
+            w = words[wi];
+        }
+    }
 
     /** Index of the first set bit strictly after @p i, or size(). */
     std::size_t findNext(std::size_t i) const { return findFirst(i + 1); }
 
+    /**
+     * Visit every set bit in ascending order: one word load per 64
+     * channels, then countr_zero + clear-lowest-set-bit per member —
+     * the software form of the §4.1 parallel candidate extraction.
+     */
+    template <typename Fn>
+    void
+    forEachSet(Fn &&fn) const
+    {
+        for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            std::uint64_t w = words[wi];
+            while (w) {
+                fn(wi * kWordBits +
+                   static_cast<std::size_t>(std::countr_zero(w)));
+                w &= w - 1;
+            }
+        }
+    }
+
+    /**
+     * Visit every bit set in both this vector and @p o (ascending),
+     * without materializing the intersection: the word-at-a-time AND
+     * scan used by the link scheduler's eligibility walk.
+     */
+    template <typename Fn>
+    void
+    forEachSetAnd(const BitVector &o, Fn &&fn) const
+    {
+        mmr_assert(numBits == o.numBits, "bit vector size mismatch");
+        for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            std::uint64_t w = words[wi] & o.words[wi];
+            while (w) {
+                fn(wi * kWordBits +
+                   static_cast<std::size_t>(std::countr_zero(w)));
+                w &= w - 1;
+            }
+        }
+    }
+
     /** Collect the indices of all set bits (ascending). */
     std::vector<std::size_t> setBits() const;
 
+    /** Raw word access (tests, word-level consumers). */
+    std::size_t wordCount() const { return words.size(); }
+
+    std::uint64_t
+    word(std::size_t wi) const
+    {
+        mmr_assert(wi < words.size(), "word index ", wi,
+                   " out of range ", words.size());
+        return words[wi];
+    }
+
     /** Word-parallel boolean algebra (operands must match in size). */
-    BitVector &operator&=(const BitVector &o);
-    BitVector &operator|=(const BitVector &o);
-    BitVector &operator^=(const BitVector &o);
+    BitVector &
+    operator&=(const BitVector &o)
+    {
+        mmr_assert(numBits == o.numBits, "bit vector size mismatch");
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] &= o.words[i];
+        return *this;
+    }
+
+    BitVector &
+    operator|=(const BitVector &o)
+    {
+        mmr_assert(numBits == o.numBits, "bit vector size mismatch");
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] |= o.words[i];
+        return *this;
+    }
+
+    BitVector &
+    operator^=(const BitVector &o)
+    {
+        mmr_assert(numBits == o.numBits, "bit vector size mismatch");
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] ^= o.words[i];
+        return *this;
+    }
 
     /** a &= ~b, the "exclude already-serviced channels" operation. */
-    BitVector &andNot(const BitVector &o);
+    BitVector &
+    andNot(const BitVector &o)
+    {
+        mmr_assert(numBits == o.numBits, "bit vector size mismatch");
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] &= ~o.words[i];
+        return *this;
+    }
 
     /** Flip every bit (tail bits beyond size() stay clear). */
     void invert();

@@ -5,8 +5,11 @@ namespace mmr::simclock
 
 namespace
 {
-Cycle current = 0;
-bool isActive = false;
+// Thread-local so concurrent kernels (the parallel sweep runner gives
+// each experiment its own worker thread) publish their cycle counters
+// independently instead of racing on one global.
+thread_local Cycle current = 0;
+thread_local bool isActive = false;
 } // namespace
 
 void

@@ -113,7 +113,11 @@ Histogram::quantile(double q) const
 PercentileSketch::PercentileSketch(std::size_t capacity) : cap(capacity)
 {
     mmr_assert(cap > 0, "sketch capacity must be positive");
-    samples.reserve(std::min<std::size_t>(cap, 4096));
+    // Reserve the full capacity up front: the sketch sits on the
+    // per-delivered-flit path, and growth reallocations there are the
+    // kind of steady-state heap traffic the zero-allocation audit
+    // forbids.
+    samples.reserve(cap);
 }
 
 void

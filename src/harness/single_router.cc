@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <functional>
 
 #include "base/logging.hh"
 #include "base/simclock.hh"
@@ -77,6 +79,8 @@ SingleRouterExperiment::addCbrConnection(double rate_bps)
         Stream s;
         s.conn = id;
         s.klass = TrafficClass::CBR;
+        s.in = in;
+        s.inVc = dut->connection(id)->inVc;
         s.source = std::make_unique<CbrSource>(rate_bps, link, rng);
         streams.push_back(std::move(s));
         return true;
@@ -112,6 +116,8 @@ SingleRouterExperiment::addVbrConnection(double mean_rate_bps)
         Stream s;
         s.conn = id;
         s.klass = TrafficClass::VBR;
+        s.in = in;
+        s.inVc = dut->connection(id)->inVc;
         auto src = std::make_unique<VbrSource>(prof, link,
                                                cfg.router.flitBits, rng);
         s.vbr = src.get();
@@ -142,6 +148,8 @@ SingleRouterExperiment::addBestEffortFlow(double rate_bps)
         Stream s;
         s.conn = id;
         s.klass = TrafficClass::BestEffort;
+        s.in = in;
+        s.inVc = dut->connection(id)->inVc;
         s.source = std::make_unique<PoissonSource>(rate_bps, link, rng);
         streams.push_back(std::move(s));
         return true;
@@ -223,30 +231,122 @@ SingleRouterExperiment::buildWorkload()
 }
 
 void
+SingleRouterExperiment::pollStream(std::size_t idx, Cycle now)
+{
+    Stream &s = streams[idx];
+    const unsigned n = s.source->arrivals(now);
+    for (unsigned k = 0; k < n; ++k) {
+        if (s.vbr != nullptr && cfg.mix.abortLateFrames &&
+            static_cast<double>(now) > s.vbr->currentFrameDeadline()) {
+            // §4.3: the interface aborts the rest of a frame that
+            // has already missed its deadline rather than wasting
+            // link bandwidth on it.
+            ++abortedFlitCount;
+            continue;
+        }
+        Flit f;
+        f.conn = s.conn;
+        f.klass = s.klass;
+        f.seq = s.seq++;
+        f.createTime = now;
+        f.readyTime = now;
+        if (s.vbr != nullptr)
+            f.arg = s.vbr->currentFrameDeadline();
+        // Raw injection at the cached endpoint: same deposit path as
+        // inject(conn, ...) minus the per-flit connection-map lookup.
+        dut->injectRaw(s.in, s.inVc, f);
+    }
+}
+
+namespace
+{
+
+/** First integer cycle at which a source with fractional due time
+ * `due` can fire, never earlier than `floor_cycle`.  A source that
+ * reports 0.0 (the opt-out default) lands on `floor_cycle` and is
+ * polled every cycle, exactly like the naive loop. */
+inline Cycle
+dueCycleFor(double due, Cycle floor_cycle)
+{
+    if (due <= static_cast<double>(floor_cycle))
+        return floor_cycle;
+    return static_cast<Cycle>(std::ceil(due));
+}
+
+} // namespace
+
+void
+SingleRouterExperiment::scheduleStream(std::size_t idx, Cycle due,
+                                       Cycle origin)
+{
+    // Buckets are only unambiguous while every wheel entry's due cycle
+    // lies within one revolution of the oldest un-drained cycle, so
+    // anything at or beyond the horizon parks in the overflow heap and
+    // spills in as the wheel turns.
+    if (due - origin < kWheelSize) {
+        dueWheel[due & (kWheelSize - 1)].push_back(
+            static_cast<std::uint32_t>(idx));
+    } else {
+        farDue.emplace_back(due, static_cast<std::uint32_t>(idx));
+        std::push_heap(farDue.begin(), farDue.end(),
+                       std::greater<>{});
+    }
+}
+
+void
 SingleRouterExperiment::injectArrivals(Cycle now)
 {
-    for (Stream &s : streams) {
-        const unsigned n = s.source->arrivals(now);
-        for (unsigned k = 0; k < n; ++k) {
-            if (s.vbr != nullptr && cfg.mix.abortLateFrames &&
-                static_cast<double>(now) >
-                    s.vbr->currentFrameDeadline()) {
-                // §4.3: the interface aborts the rest of a frame that
-                // has already missed its deadline rather than wasting
-                // link bandwidth on it.
-                ++abortedFlitCount;
-                continue;
-            }
-            Flit f;
-            f.conn = s.conn;
-            f.seq = s.seq++;
-            f.createTime = now;
-            f.readyTime = now;
-            if (s.vbr != nullptr)
-                f.arg = s.vbr->currentFrameDeadline();
-            dut->inject(s.conn, f);
-        }
+    if (!dueWheelInit) {
+        // Lazy init: buildWorkload has populated the stream set.
+        dueWheelInit = true;
+        dueWheel.assign(kWheelSize, {});
+        for (std::size_t i = 0; i < streams.size(); ++i)
+            scheduleStream(
+                i, dueCycleFor(streams[i].source->nextDueCycle(), now),
+                now);
+        lastDrained = now;
+        drainBucket(now, now);
+        return;
     }
+    // The kernel advances one cycle at a time, so this loop runs one
+    // iteration; draining any skipped cycles in order keeps the
+    // (cycle, index) poll order identical to the old min-heap either
+    // way.
+    for (Cycle c = lastDrained + 1; c <= now; ++c)
+        drainBucket(c, now);
+    lastDrained = now;
+}
+
+void
+SingleRouterExperiment::drainBucket(Cycle c, Cycle now)
+{
+    // Entries whose due cycle has rotated into the window move from
+    // the overflow heap onto the wheel first.
+    while (!farDue.empty() && farDue.front().first - c < kWheelSize) {
+        std::pop_heap(farDue.begin(), farDue.end(), std::greater<>{});
+        const auto [due, idx] = farDue.back();
+        farDue.pop_back();
+        dueWheel[due & (kWheelSize - 1)].push_back(idx);
+    }
+    auto &bucket = dueWheel[c & (kWheelSize - 1)];
+    if (bucket.empty())
+        return;
+    // Same-cycle polls — and therefore draws from the shared RNG —
+    // must happen in stream-index order, exactly like the naive
+    // poll-every-stream loop.  Each source guarantees its next event
+    // lies strictly after a cycle it just processed, so re-scheduling
+    // below never targets this bucket again (next due >= now + 1, and
+    // due == c + kWheelSize parks in the overflow heap).
+    std::sort(bucket.begin(), bucket.end());
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const std::size_t idx = bucket[i];
+        pollStream(idx, now);
+        scheduleStream(
+            idx,
+            dueCycleFor(streams[idx].source->nextDueCycle(), now + 1),
+            c);
+    }
+    bucket.clear();
 }
 
 ExperimentResult
@@ -256,7 +356,7 @@ SingleRouterExperiment::run()
     kernel.add(dut.get(), "router");
     // The auditor ticks after the router so every cycle's committed
     // state satisfies the conservation laws before the next begins.
-    dut->registerInvariants(auditor);
+    dut->registerInvariants(auditor, 64);
     kernel.registerInvariants(auditor);
     kernel.add(&auditor, "invariants");
 

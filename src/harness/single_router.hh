@@ -173,6 +173,10 @@ class SingleRouterExperiment
     {
         ConnId conn;
         TrafficClass klass;
+        /** Input endpoint of the connection, captured at open time so
+         * per-flit injection bypasses the router's connection map. */
+        PortId in = kInvalidPort;
+        VcId inVc = kInvalidVc;
         std::unique_ptr<TrafficSource> source;
         VbrSource *vbr = nullptr; ///< non-owning view for deadlines
         std::uint32_t seq = 0;
@@ -183,6 +187,7 @@ class SingleRouterExperiment
     bool addVbrConnection(double mean_rate_bps);
     bool addBestEffortFlow(double rate_bps);
     void injectArrivals(Cycle now);
+    void pollStream(std::size_t idx, Cycle now);
 
     ExperimentConfig cfg;
     MetricsRecorder recorder;
@@ -191,6 +196,28 @@ class SingleRouterExperiment
     Rng rng;
 
     std::vector<Stream> streams;
+
+    /**
+     * Injection skip-ahead: a timing wheel of per-cycle buckets.
+     * Sources guarantee polls before their due cycle are
+     * side-effect-free no-ops (see TrafficSource::nextDueCycle), so
+     * only due streams are polled each cycle; buckets are drained in
+     * cycle order and sorted by stream index first, so the poll — and
+     * therefore shared-RNG draw — order of the naive
+     * poll-everyone-every-cycle loop is reproduced bit-exactly.
+     * Insertion is O(1) (vs. two O(log n) heap sifts per poll); due
+     * cycles beyond the wheel horizon wait in a small overflow heap
+     * and spill into the wheel as it turns.
+     */
+    static constexpr std::size_t kWheelSize = 1024; ///< power of two
+    std::vector<std::vector<std::uint32_t>> dueWheel;
+    std::vector<std::pair<Cycle, std::uint32_t>> farDue; ///< min-heap
+    Cycle lastDrained = 0;
+    bool dueWheelInit = false;
+
+    void scheduleStream(std::size_t idx, Cycle due, Cycle origin);
+    void drainBucket(Cycle c, Cycle now);
+
     std::vector<double> inputDemand;  ///< admitted bits/s per input
     std::vector<double> outputDemand; ///< admitted bits/s per output
     std::unordered_map<ConnId, std::pair<std::uint64_t, std::uint64_t>>

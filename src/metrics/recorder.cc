@@ -19,12 +19,40 @@ ConnectionRecorder::record(double delay_cycles, bool measured)
     haveLast = true;
 }
 
+ConnectionRecorder &
+MetricsRecorder::slot(ConnId conn)
+{
+    if (conn < kDirectConns) {
+        if (direct.size() <= conn) {
+            // Grow geometrically so steady state sees no resizes.
+            const std::size_t want = static_cast<std::size_t>(conn) + 1;
+            direct.resize(std::min<std::size_t>(
+                kDirectConns,
+                std::max<std::size_t>(want, direct.size() * 2)));
+        }
+        return direct[conn];
+    }
+    return overflow[conn];
+}
+
+const ConnectionRecorder *
+MetricsRecorder::lookup(ConnId conn) const
+{
+    if (conn < kDirectConns) {
+        if (conn < direct.size() && direct[conn].touched())
+            return &direct[conn];
+        return nullptr;
+    }
+    auto it = overflow.find(conn);
+    return it == overflow.end() ? nullptr : &it->second;
+}
+
 void
 MetricsRecorder::recordDeparture(ConnId conn, Cycle now,
                                  double delay_cycles)
 {
     const bool measured = measuring(now);
-    perConn[conn].record(delay_cycles, measured);
+    slot(conn).record(delay_cycles, measured);
     if (measured)
         delaySketch.add(delay_cycles);
 }
@@ -59,7 +87,7 @@ MetricsRecorder::meanDelayCycles() const
     // order must not leak into reported results (determinism audit).
     StreamStat all;
     for (ConnId conn : connections())
-        all.merge(perConn.at(conn).delay());
+        all.merge(lookup(conn)->delay());
     return all.mean();
 }
 
@@ -68,7 +96,7 @@ MetricsRecorder::meanJitterCycles() const
 {
     StreamStat all;
     for (ConnId conn : connections())
-        all.merge(perConn.at(conn).jitter());
+        all.merge(lookup(conn)->jitter());
     return all.mean();
 }
 
@@ -76,7 +104,9 @@ std::uint64_t
 MetricsRecorder::measuredFlits() const
 {
     std::uint64_t n = 0;
-    for (const auto &[conn, rec] : perConn)
+    for (const ConnectionRecorder &rec : direct)
+        n += rec.delay().count();
+    for (const auto &[conn, rec] : overflow)
         n += rec.delay().count();
     return n;
 }
@@ -84,18 +114,25 @@ MetricsRecorder::measuredFlits() const
 const ConnectionRecorder *
 MetricsRecorder::connection(ConnId conn) const
 {
-    auto it = perConn.find(conn);
-    return it == perConn.end() ? nullptr : &it->second;
+    return lookup(conn);
 }
 
 std::vector<ConnId>
 MetricsRecorder::connections() const
 {
+    // Direct ids come out ascending by construction; overflow ids are
+    // all larger than any direct id, so sorting just the tail keeps
+    // the whole list ordered (the determinism audit relies on a
+    // stable merge order in the aggregates above).
     std::vector<ConnId> ids;
-    ids.reserve(perConn.size());
-    for (const auto &[conn, rec] : perConn)
+    ids.reserve(direct.size() + overflow.size());
+    for (std::size_t c = 0; c < direct.size(); ++c)
+        if (direct[c].touched())
+            ids.push_back(static_cast<ConnId>(c));
+    const std::size_t tail = ids.size();
+    for (const auto &[conn, rec] : overflow)
         ids.push_back(conn);
-    std::sort(ids.begin(), ids.end());
+    std::sort(ids.begin() + tail, ids.end());
     return ids;
 }
 

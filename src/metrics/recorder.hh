@@ -40,6 +40,9 @@ class ConnectionRecorder
     const StreamStat &jitter() const { return jitterStat; }
     std::uint64_t flitCount() const { return flits; }
 
+    /** True once record() has been called at least once. */
+    bool touched() const { return flits > 0; }
+
   private:
     StreamStat delayStat;
     StreamStat jitterStat;
@@ -88,7 +91,19 @@ class MetricsRecorder
     std::vector<ConnId> connections() const;
 
   private:
-    std::unordered_map<ConnId, ConnectionRecorder> perConn;
+    /**
+     * Connection ids are small and dense in practice (the harness
+     * hands them out sequentially), so the per-delivered-flit lookup
+     * indexes a flat array; ids beyond the direct window fall back to
+     * a hash map.  An entry exists once record() touched it.
+     */
+    static constexpr ConnId kDirectConns = 4096;
+
+    ConnectionRecorder &slot(ConnId conn);
+    const ConnectionRecorder *lookup(ConnId conn) const;
+
+    std::vector<ConnectionRecorder> direct; ///< ids < kDirectConns
+    std::unordered_map<ConnId, ConnectionRecorder> overflow;
     RatioStat outputSlots;
     PercentileSketch delaySketch;
     Cycle measureStart = 0;

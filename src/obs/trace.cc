@@ -8,7 +8,7 @@
 namespace mmr
 {
 
-Tracer *Tracer::current = nullptr;
+thread_local Tracer *Tracer::current = nullptr;
 
 const char *
 to_string(TraceCat c)

@@ -136,7 +136,9 @@ class Tracer
     }
     bool push(const Event &e);
 
-    static Tracer *current;
+    // Thread-local so concurrent sweep workers can each run a tracer
+    // (or none) without racing on one installed pointer.
+    static thread_local Tracer *current;
 
     std::uint32_t catMask;
     Cycle fromCycle = 0;

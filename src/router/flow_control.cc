@@ -17,60 +17,13 @@ CreditManager::CreditManager(unsigned ports, unsigned vcs,
     mmr_assert(initial_credits > 0, "need at least one credit per VC");
 }
 
-std::size_t
-CreditManager::index(PortId port, VcId vc) const
-{
-    mmr_assert(port < numPorts && vc < numVcs, "credit index (", port,
-               ",", vc, ") out of range");
-    return static_cast<std::size_t>(port) * numVcs + vc;
-}
-
-bool
-CreditManager::hasCredit(PortId port, VcId vc) const
-{
-    return infinite || counters[index(port, vc)] > 0;
-}
-
-void
-CreditManager::consume(PortId port, VcId vc)
-{
-    if (infinite)
-        return;
-    unsigned &c = counters[index(port, vc)];
-    if (c == 0) {
-        mmr_panic("credit underflow: consuming a credit that is not "
-                  "there on (", port, ",", vc, ")");
-    }
-    --c;
-    ++statConsumed;
-}
-
-void
-CreditManager::replenish(PortId port, VcId vc)
-{
-    if (infinite)
-        return;
-    unsigned &c = counters[index(port, vc)];
-    if (c >= initial) {
-        mmr_panic("credit overflow on (", port, ",", vc,
-                  "): more returns than the downstream depth ", initial);
-    }
-    ++c;
-    ++statReplenished;
-}
-
-unsigned
-CreditManager::credits(PortId port, VcId vc) const
-{
-    return counters[index(port, vc)];
-}
-
 void
 CreditManager::reset(PortId port, VcId vc)
 {
     unsigned &c = counters[index(port, vc)];
     statResetReclaimed += initial - c;
     c = initial;
+    ++ver;
 }
 
 void

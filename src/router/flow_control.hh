@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/types.hh"
 #include "router/flit.hh"
 
@@ -42,14 +43,66 @@ class CreditManager
      * Single-router (§5) experiments attach infinite sinks: credits
      * never run out.
      */
-    void setInfinite(bool inf) { infinite = inf; }
+    void
+    setInfinite(bool inf)
+    {
+        infinite = inf;
+        ++ver;
+    }
     bool isInfinite() const { return infinite; }
 
-    bool hasCredit(PortId port, VcId vc) const;
-    void consume(PortId port, VcId vc);
-    void replenish(PortId port, VcId vc);
+    bool
+    hasCredit(PortId port, VcId vc) const
+    {
+        return infinite || counters[index(port, vc)] > 0;
+    }
 
-    unsigned credits(PortId port, VcId vc) const;
+    void
+    consume(PortId port, VcId vc)
+    {
+        if (infinite)
+            return;
+        unsigned &c = counters[index(port, vc)];
+        if (c == 0) {
+            mmr_panic("credit underflow: consuming a credit that is "
+                      "not there on (", port, ",", vc, ")");
+        }
+        --c;
+        ++statConsumed;
+        ++ver;
+    }
+
+    void
+    replenish(PortId port, VcId vc)
+    {
+        if (infinite)
+            return;
+        unsigned &c = counters[index(port, vc)];
+        if (c >= initial) {
+            mmr_panic("credit overflow on (", port, ",", vc,
+                      "): more returns than the downstream depth ",
+                      initial);
+        }
+        ++c;
+        ++statReplenished;
+        ++ver;
+    }
+
+    /**
+     * Monotonic change counter over everything hasCredit() can see.
+     * Link schedulers compare it against the value captured when they
+     * last rebuilt their eligibility masks: an unchanged version means
+     * no credits_available bit has moved.  With infinite credits the
+     * version never advances, so the cached masks stay warm.
+     */
+    std::uint64_t schedVersion() const { return ver; }
+
+    unsigned
+    credits(PortId port, VcId vc) const
+    {
+        return counters[index(port, vc)];
+    }
+
     unsigned initialCredits() const { return initial; }
 
     /** Reset one VC's credits to the initial value (VC released). */
@@ -82,7 +135,13 @@ class CreditManager
                             unsigned period = 1) const;
 
   private:
-    std::size_t index(PortId port, VcId vc) const;
+    std::size_t
+    index(PortId port, VcId vc) const
+    {
+        mmr_assert(port < numPorts && vc < numVcs, "credit index (",
+                   port, ",", vc, ") out of range");
+        return static_cast<std::size_t>(port) * numVcs + vc;
+    }
 
     unsigned numPorts;
     unsigned numVcs;
@@ -94,6 +153,7 @@ class CreditManager
     std::uint64_t statReplenished = 0;
     /** Outstanding credits written off by reset() (VC teardown). */
     std::uint64_t statResetReclaimed = 0;
+    std::uint64_t ver = 0; ///< see schedVersion()
 };
 
 /**

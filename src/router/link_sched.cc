@@ -19,15 +19,21 @@ LinkScheduler::LinkScheduler(PortId port, VcMemory *memory,
     mmr_assert(roundLen > 0, "round length must be positive");
 }
 
-void
+bool
 LinkScheduler::rollRoundIfNeeded(Cycle now)
 {
-    while (now >= nextRoundStart) {
-        for (VcId v = 0; v < mem->numVcs(); ++v)
-            mem->vc(v).newRound();
+    if (now < nextRoundStart)
+        return false;
+    do {
         nextRoundStart += roundLen;
         ++rounds;
-    }
+    } while (now >= nextRoundStart);
+    // One sweep regardless of how many boundaries were crossed: the
+    // counters are simply zeroed, so catching up multiple rounds at
+    // once is equivalent.
+    for (VcId v = 0; v < mem->numVcs(); ++v)
+        mem->vc(v).newRound();
+    return true;
 }
 
 bool
@@ -61,11 +67,45 @@ LinkScheduler::eligibleMask(Cycle now, const CreditManager &credits) const
 }
 
 void
+LinkScheduler::refreshEligMask(const CreditManager &credits, bool force)
+{
+    if (eligMask.size() != mem->numVcs())
+        eligMask.resize(mem->numVcs());
+
+    const std::uint64_t credit_ver = credits.schedVersion();
+    if (force || !eligValid || credit_ver != seenCreditVersion ||
+        mem->allSchedDirty()) {
+        // Full rebuild: the §4.1 AND over the status vectors, seeded
+        // from flits_available (eligibility implies a buffered flit)
+        // and narrowed per set bit.
+        eligMask.clearAll();
+        mem->flitsAvailable().forEachSet([this, &credits](std::size_t v) {
+            if (eligible(mem->vc(static_cast<VcId>(v)), credits))
+                eligMask.set(v);
+        });
+        eligValid = true;
+        ++fullRebuilds;
+    } else {
+        // Incremental: only the VCs whose scheduling inputs moved
+        // since the last refresh can have changed their bit.
+        mem->schedDirtyMask().forEachSet([this,
+                                          &credits](std::size_t v) {
+            eligMask.assign(
+                v, eligible(mem->vc(static_cast<VcId>(v)), credits));
+        });
+        ++incrementalRefreshes;
+    }
+    seenCreditVersion = credit_ver;
+    mem->clearSchedDirty();
+}
+
+void
 LinkScheduler::collectCandidates(Cycle now, unsigned max_candidates,
                                  const CreditManager &credits, Rng &rng,
                                  std::vector<Candidate> &out)
 {
-    rollRoundIfNeeded(now);
+    const bool rolled = rollRoundIfNeeded(now);
+    refreshEligMask(credits, rolled);
 
     const auto by_rank = [](const Candidate &a, const Candidate &b) {
         if (a.tier != b.tier)
@@ -85,13 +125,9 @@ LinkScheduler::collectCandidates(Cycle now, unsigned max_candidates,
     scratch.clear();
     touchedOutputs.clear();
 
-    const BitVector &avail = mem->flitsAvailable();
-    for (std::size_t i = avail.findFirst(); i < avail.size();
-         i = avail.findNext(i)) {
+    eligMask.forEachSet([&](std::size_t i) {
         const auto v = static_cast<VcId>(i);
         const VcState &vc = mem->vc(v);
-        if (!eligible(vc, credits))
-            continue;
 
         Candidate c;
         c.in = inPort;
@@ -121,7 +157,7 @@ LinkScheduler::collectCandidates(Cycle now, unsigned max_candidates,
         } else if (by_rank(c, scratch[bestPerOutput[slot]])) {
             scratch[bestPerOutput[slot]] = c;
         }
-    }
+    });
     for (std::size_t slot : touchedOutputs)
         bestPerOutput[slot] = kInvalidVc;
 

@@ -58,8 +58,11 @@ class LinkScheduler
     /**
      * Reset per-round serviced counters at round boundaries.  Rounds
      * are aligned across the router (synchronous link operation).
+     * Returns true when at least one round boundary was crossed (the
+     * serviced counters were reset, so every cached eligibility bit
+     * is stale).
      */
-    void rollRoundIfNeeded(Cycle now);
+    bool rollRoundIfNeeded(Cycle now);
 
     /**
      * Collect up to @p max_candidates eligible candidates at cycle
@@ -84,8 +87,24 @@ class LinkScheduler
     /** Rounds completed so far. */
     std::uint64_t roundCount() const { return rounds; }
 
+    /** Cache-refresh statistics (perf accounting, tests). */
+    std::uint64_t maskFullRebuilds() const { return fullRebuilds; }
+    std::uint64_t maskIncrementalRefreshes() const
+    {
+        return incrementalRefreshes;
+    }
+
   private:
     bool eligible(const VcState &vc, const CreditManager &credits) const;
+
+    /**
+     * Bring the cached eligibility mask up to date (§4.1 status-vector
+     * AND).  Full rebuild when forced (round roll), when any
+     * credits_available bit may have moved (credit version advanced),
+     * or when the memory flagged a wholesale change; otherwise only
+     * the VCs in the memory's dirty set are re-evaluated.
+     */
+    void refreshEligMask(const CreditManager &credits, bool force);
 
     PortId inPort;
     VcMemory *mem;
@@ -94,6 +113,13 @@ class LinkScheduler
     bool randomCandidates;
     Cycle nextRoundStart;
     std::uint64_t rounds = 0;
+
+    /** Cached eligibility mask + the versions it was computed from. */
+    BitVector eligMask;
+    std::uint64_t seenCreditVersion = 0;
+    bool eligValid = false;
+    std::uint64_t fullRebuilds = 0;
+    std::uint64_t incrementalRefreshes = 0;
 
     /** Scratch space reused across cycles to avoid allocation. */
     std::vector<Candidate> scratch;

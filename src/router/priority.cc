@@ -19,50 +19,4 @@ to_string(PriorityPolicy p)
     return "?";
 }
 
-double
-headPriority(PriorityPolicy policy, const VcState &vc, Cycle now)
-{
-    const Flit &head = vc.ungrantedHead();
-    const double waited =
-        now >= head.readyTime
-            ? static_cast<double>(now - head.readyTime)
-            : 0.0;
-
-    switch (policy) {
-      case PriorityPolicy::Biased: {
-        const double ia = vc.interArrival();
-        // Connections without a declared rate (best-effort, control)
-        // age like a 1-cycle inter-arrival stream.
-        return ia > 0.0 ? waited / ia : waited;
-      }
-      case PriorityPolicy::Fixed: {
-        // Static priority proportional to the connection rate: a
-        // 120 Mb/s stream always beats a 64 Kb/s one.
-        const double ia = vc.interArrival();
-        return ia > 0.0 ? 1.0 / ia : 0.0;
-      }
-      case PriorityPolicy::Age:
-        return waited;
-    }
-    mmr_panic("unhandled priority policy");
-}
-
-ServiceTier
-serviceTier(const VcState &vc)
-{
-    switch (vc.trafficClass()) {
-      case TrafficClass::Control:
-        return ServiceTier::Control;
-      case TrafficClass::CBR:
-        return ServiceTier::Guaranteed;
-      case TrafficClass::VBR:
-        return vc.serviced() + vc.pendingGrants() < vc.permCycles()
-                   ? ServiceTier::VbrPermanent
-                   : ServiceTier::VbrExcess;
-      case TrafficClass::BestEffort:
-        return ServiceTier::BestEffort;
-    }
-    mmr_panic("unhandled traffic class");
-}
-
 } // namespace mmr

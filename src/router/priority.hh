@@ -19,6 +19,7 @@
 
 #include <string>
 
+#include "base/logging.hh"
 #include "base/types.hh"
 #include "router/vc_state.hh"
 
@@ -55,17 +56,62 @@ enum class ServiceTier : int
  * Compute the scheduling priority of the first ungranted flit of a
  * VC under the given policy.
  *
+ * Inline: the link schedulers recompute this for every eligible VC
+ * every flit cycle (dynamic priority biasing is per-cycle by design).
+ *
  * @param policy priority policy in force
  * @param vc channel state (provides head flit and inter-arrival)
  * @param now current flit cycle
  */
-double headPriority(PriorityPolicy policy, const VcState &vc, Cycle now);
+inline double
+headPriority(PriorityPolicy policy, const VcState &vc, Cycle now)
+{
+    const Flit &head = vc.ungrantedHead();
+    const double waited =
+        now >= head.readyTime
+            ? static_cast<double>(now - head.readyTime)
+            : 0.0;
+
+    switch (policy) {
+      case PriorityPolicy::Biased: {
+        const double ia = vc.interArrival();
+        // Connections without a declared rate (best-effort, control)
+        // age like a 1-cycle inter-arrival stream.
+        return ia > 0.0 ? waited / ia : waited;
+      }
+      case PriorityPolicy::Fixed: {
+        // Static priority proportional to the connection rate: a
+        // 120 Mb/s stream always beats a 64 Kb/s one.
+        const double ia = vc.interArrival();
+        return ia > 0.0 ? 1.0 / ia : 0.0;
+      }
+      case PriorityPolicy::Age:
+        return waited;
+    }
+    mmr_panic("unhandled priority policy");
+}
 
 /**
  * Service tier of the VC's next grant given its per-round quota
  * consumption (§4.3).
  */
-ServiceTier serviceTier(const VcState &vc);
+inline ServiceTier
+serviceTier(const VcState &vc)
+{
+    switch (vc.trafficClass()) {
+      case TrafficClass::Control:
+        return ServiceTier::Control;
+      case TrafficClass::CBR:
+        return ServiceTier::Guaranteed;
+      case TrafficClass::VBR:
+        return vc.serviced() + vc.pendingGrants() < vc.permCycles()
+                   ? ServiceTier::VbrPermanent
+                   : ServiceTier::VbrExcess;
+      case TrafficClass::BestEffort:
+        return ServiceTier::BestEffort;
+    }
+    mmr_panic("unhandled traffic class");
+}
 
 } // namespace mmr
 

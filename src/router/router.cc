@@ -47,6 +47,8 @@ MmrRouter::MmrRouter(const RouterConfig &cfg_, MetricsRecorder *metrics_)
     }
     phitBufOuts.resize(cfg.numPorts);
     candScratch.resize(cfg.numPorts);
+    bypassInBusy.resize(cfg.numPorts);
+    bypassOutBusy.resize(cfg.numPorts);
     // Stand-alone routers deliver to an infinite sink by default.
     creditMgr.setInfinite(true);
 }
@@ -213,7 +215,10 @@ MmrRouter::installSegment(const SegmentParams &p)
     vc.setMapping(p.out, p.outVc);
     vc.setTieBreak(rand.uniform());
     routes.map(ChannelRef{p.in, p.inVc}, ChannelRef{p.out, p.outVc});
+    inputMems[p.in].markSchedDirty(p.inVc);
     conns.emplace(p.id, p);
+    if (p.releaseWhenEmpty)
+        ++autoReleaseConns;
     MMR_TRACE_INSTANT(TraceCat::Setup, "vc_alloc", simclock::now(),
                       p.in, p.id, static_cast<std::int32_t>(p.inVc),
                       static_cast<std::int32_t>(p.outVc));
@@ -231,6 +236,7 @@ MmrRouter::removeSegment(ConnId id)
     mmr_assert(vc.empty() && vc.pendingGrants() == 0,
                "removing segment with in-flight flits on conn ", id);
     vc.release();
+    inputMems[p.in].markSchedDirty(p.inVc);
     routes.unmap(ChannelRef{p.in, p.inVc});
     if (p.ownsInputVc)
         routes.freeInputVc(p.in, p.inVc);
@@ -243,6 +249,11 @@ MmrRouter::removeSegment(ConnId id)
         admit.releaseVbr(p.out, p.permCycles, p.peakCycles);
 
     conns.erase(it);
+    if (p.releaseWhenEmpty) {
+        mmr_assert(autoReleaseConns > 0,
+                   "release-when-empty count underflow");
+        --autoReleaseConns;
+    }
     if (segmentRemoved)
         segmentRemoved(p);
 }
@@ -285,6 +296,7 @@ MmrRouter::renegotiateBandwidth(ConnId id, double new_rate_bps)
     VcState &vc = inputMems[p.in].vc(p.inVc);
     vc.setCbrAlloc(cycles);
     vc.setInterArrival(p.interArrival);
+    inputMems[p.in].markSchedDirty(p.inVc); // quota moved
     return true;
 }
 
@@ -364,6 +376,7 @@ MmrRouter::offerControl(PortId in, PortId out, Flit f)
         return false;
     }
     phitBufOuts[in].push_back(out);
+    ++phitBuffered;
     return true;
 }
 
@@ -390,22 +403,22 @@ MmrRouter::creditAvailable(const VcState &vc) const
 void
 MmrRouter::processBypass(Cycle now)
 {
+    // Control traffic is rare; with nothing buffered there is nothing
+    // to cut through or demote, so the common data-only cycle skips
+    // the port-mask setup entirely.
+    if (phitBuffered == 0)
+        return;
+
     // Ports used by the matching that transmits during this cycle.
-    std::vector<bool> in_busy(cfg.numPorts, false);
-    std::vector<bool> out_busy(cfg.numPorts, false);
+    std::fill(bypassInBusy.begin(), bypassInBusy.end(), false);
+    std::fill(bypassOutBusy.begin(), bypassOutBusy.end(), false);
     for (const Candidate &c : currentMatching) {
-        in_busy[c.in] = true;
-        out_busy[c.out] = true;
+        bypassInBusy[c.in] = true;
+        bypassOutBusy[c.out] = true;
     }
 
     // Drain the phit buffers (decoded control packets) in port order.
-    struct BypassReq
-    {
-        PortId in;
-        PortId out;
-        Flit flit;
-    };
-    std::vector<BypassReq> pending;
+    bypassPending.clear();
     for (PortId p = 0; p < cfg.numPorts; ++p) {
         while (!phitBufs[p].empty()) {
             BypassReq req;
@@ -413,16 +426,17 @@ MmrRouter::processBypass(Cycle now)
             req.flit = phitBufs[p].pop();
             req.out = phitBufOuts[p].front();
             phitBufOuts[p].pop_front();
-            pending.push_back(std::move(req));
+            --phitBuffered;
+            bypassPending.push_back(std::move(req));
         }
     }
 
-    for (BypassReq &req : pending) {
-        if (!in_busy[req.in] && !out_busy[req.out]) {
+    for (BypassReq &req : bypassPending) {
+        if (!bypassInBusy[req.in] && !bypassOutBusy[req.out]) {
             // Cut through right now; the ports stay busy for the
             // arbitration of the next flit cycle (§3.4).
-            in_busy[req.in] = true;
-            out_busy[req.out] = true;
+            bypassInBusy[req.in] = true;
+            bypassOutBusy[req.out] = true;
             bypassMasks.busyIn.set(req.in);
             bypassMasks.busyOut.set(req.out);
             ++statBypassHits;
@@ -499,12 +513,16 @@ MmrRouter::evaluate(Cycle now)
         }
     }
 
-    nextMatching = sched->schedule(candScratch, bypassMasks, rand);
+    sched->scheduleInto(candScratch, bypassMasks, rand, nextMatching);
     bypassMasks.busyIn.clearAll();
     bypassMasks.busyOut.clearAll();
 
     for (const Candidate &c : nextMatching) {
         inputMems[c.in].vc(c.vc).noteGrantIssued();
+        // The pending grant shrinks the ungranted-flit count and eats
+        // round quota: the link scheduler must re-derive this VC's
+        // eligibility bit.
+        inputMems[c.in].markSchedDirty(c.vc);
         MMR_TRACE_INSTANT(TraceCat::Sched, "grant", now, c.in, c.conn,
                           static_cast<std::int32_t>(c.vc),
                           static_cast<std::int32_t>(c.out));
@@ -537,6 +555,11 @@ MmrRouter::deliver(const Candidate &grant, Flit &&flit, Cycle now)
 void
 MmrRouter::maybeAutoRelease(ConnId id, PortId in, VcId in_vc)
 {
+    // Fast path for the steady state: with no release-when-empty
+    // connections installed (the common case — only VCT control
+    // packets set the flag), skip the per-forwarded-flit map lookup.
+    if (autoReleaseConns == 0)
+        return;
     auto it = conns.find(id);
     if (it == conns.end() || !it->second.releaseWhenEmpty)
         return;
@@ -583,20 +606,21 @@ MmrRouter::applyMatching(Cycle now)
 
     // Reconfiguration accounting for the multiplexed crossbar: the
     // switch resets whenever the port assignment changes.
-    std::vector<std::pair<PortId, PortId>> config_now;
-    config_now.reserve(currentMatching.size());
+    configScratch.clear();
     for (const Candidate &g : currentMatching)
-        config_now.emplace_back(g.in, g.out);
-    std::sort(config_now.begin(), config_now.end());
-    reconfig.note(config_now == lastConfig);
-    lastConfig = std::move(config_now);
+        configScratch.emplace_back(g.in, g.out);
+    std::sort(configScratch.begin(), configScratch.end());
+    reconfig.note(configScratch == lastConfig);
+    lastConfig.swap(configScratch);
 }
 
 void
 MmrRouter::advance(Cycle now)
 {
     applyMatching(now);
-    currentMatching = std::move(nextMatching);
+    // Swap instead of move-assign: the spent matching's capacity is
+    // recycled as next cycle's scratch.
+    currentMatching.swap(nextMatching);
     nextMatching.clear();
 }
 
@@ -618,16 +642,17 @@ MmrRouter::registerInvariants(InvariantChecker &chk,
     // flits are never dropped").  Every flit that entered a VC memory
     // is either still buffered or was forwarded through the crossbar;
     // bypass cut-throughs never enter a VC memory and are excluded
-    // from both sides.  Depths are summed from the FIFOs themselves so
-    // a flit removed behind the router's back is caught even when the
-    // occupancy counters were fooled too.
+    // from both sides.  Occupancy is read from the per-memory counter
+    // (O(P) rather than O(P*V)); the vc-occupancy invariant below
+    // cross-checks that counter against the FIFO ground truth on the
+    // same stride, so a flit removed behind the router's back is still
+    // caught.
     chk.add(
         "flit-conservation",
         [this](Cycle) {
             std::uint64_t buffered = 0;
             for (const VcMemory &m : inputMems)
-                for (VcId v = 0; v < m.numVcs(); ++v)
-                    buffered += m.vc(v).depth();
+                buffered += m.occupancy();
             const std::uint64_t via_switch =
                 statForwarded - statBypassHits;
             if (statInjected != via_switch + buffered) {

@@ -260,12 +260,30 @@ class MmrRouter : public Clocked
      */
     std::vector<PhitBuffer> phitBufs;
     std::vector<std::deque<PortId>> phitBufOuts;
+    unsigned phitBuffered = 0; ///< total flits across all phit buffers
+
+    /** Installed connections with releaseWhenEmpty set; when zero the
+     * per-forwarded-flit auto-release probe is skipped entirely. */
+    unsigned autoReleaseConns = 0;
 
     SinkFn sink;
     CreditFn creditReturn;
     SegmentFn segmentRemoved;
 
+    /** One buffered control packet awaiting cut-through or demotion. */
+    struct BypassReq
+    {
+        PortId in;
+        PortId out;
+        Flit flit;
+    };
+
+    // Per-cycle scratch, reused so steady state allocates nothing.
     std::vector<std::vector<Candidate>> candScratch;
+    std::vector<bool> bypassInBusy;
+    std::vector<bool> bypassOutBusy;
+    std::vector<BypassReq> bypassPending;
+    std::vector<std::pair<PortId, PortId>> configScratch;
     std::vector<std::pair<PortId, PortId>> lastConfig; ///< reconfig cmp
 
     std::uint64_t statInjected = 0;

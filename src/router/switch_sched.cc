@@ -1,6 +1,7 @@
 #include "router/switch_sched.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "base/logging.hh"
 #include "sim/invariant.hh"
@@ -8,23 +9,61 @@
 namespace mmr
 {
 
+namespace
+{
+
+/**
+ * Port-usage mask for legality checks.  Switches up to 64 ports wide
+ * fit in one machine word, so the every-cycle matching audit runs
+ * without touching the heap; wider switches (not used by any current
+ * configuration) fall back to a bit vector.
+ */
+class PortUseMask
+{
+  public:
+    explicit PortUseMask(unsigned num_ports)
+    {
+        if (num_ports > 64)
+            wide.resize(num_ports);
+    }
+
+    /** Mark @p p used; returns false when it was already used. */
+    bool
+    claim(unsigned p)
+    {
+        if (wide.size() == 0) {
+            const std::uint64_t bit = std::uint64_t{1} << p;
+            if (narrow & bit)
+                return false;
+            narrow |= bit;
+            return true;
+        }
+        if (wide.test(p))
+            return false;
+        wide.set(p);
+        return true;
+    }
+
+  private:
+    std::uint64_t narrow = 0;
+    BitVector wide;
+};
+
+} // namespace
+
 bool
 SwitchScheduler::validate(const Matching &m, unsigned num_ports,
                           bool allow_output_sharing)
 {
-    std::vector<bool> in_used(num_ports, false);
-    std::vector<bool> out_used(num_ports, false);
+    PortUseMask in_used(num_ports);
+    PortUseMask out_used(num_ports);
     for (const Candidate &c : m) {
         if (c.in >= num_ports || c.out >= num_ports)
             return false;
-        if (in_used[c.in])
+        if (!in_used.claim(c.in))
             return false;
-        in_used[c.in] = true;
-        if (!allow_output_sharing) {
-            if (out_used[c.out])
-                return false;
-            out_used[c.out] = true;
-        }
+        if (!allow_output_sharing && !out_used.claim(c.out))
+            return false;
     }
     return true;
 }
@@ -33,8 +72,8 @@ void
 SwitchScheduler::auditMatching(const Matching &m, unsigned num_ports,
                                bool allow_output_sharing)
 {
-    std::vector<bool> in_used(num_ports, false);
-    std::vector<bool> out_used(num_ports, false);
+    PortUseMask in_used(num_ports);
+    PortUseMask out_used(num_ports);
     for (const Candidate &c : m) {
         if (c.in >= num_ports || c.out >= num_ports) {
             mmr_invariant_violated("matching-validity", "grant (",
@@ -42,18 +81,14 @@ SwitchScheduler::auditMatching(const Matching &m, unsigned num_ports,
                                    ") references a port outside the ",
                                    num_ports, "-port switch");
         }
-        if (in_used[c.in]) {
+        if (!in_used.claim(c.in)) {
             mmr_invariant_violated("matching-validity", "input port ",
                                    c.in, " matched twice in one cycle");
         }
-        in_used[c.in] = true;
-        if (!allow_output_sharing) {
-            if (out_used[c.out]) {
-                mmr_invariant_violated("matching-validity",
-                                       "output port ", c.out,
-                                       " matched twice in one cycle");
-            }
-            out_used[c.out] = true;
+        if (!allow_output_sharing && !out_used.claim(c.out)) {
+            mmr_invariant_violated("matching-validity",
+                                   "output port ", c.out,
+                                   " matched twice in one cycle");
         }
     }
 }
@@ -82,7 +117,9 @@ SwitchScheduler::create(const RouterConfig &cfg)
 }
 
 GreedyPriorityScheduler::GreedyPriorityScheduler(unsigned num_ports)
-    : numPorts(num_ports)
+    : numPorts(num_ports), req(num_ports), holder(num_ports),
+      choice(num_ports), tried(num_ports), visited(num_ports),
+      inTaken(num_ports), outTaken(num_ports)
 {
 }
 
@@ -121,15 +158,17 @@ augment(PortId in, const std::vector<std::vector<const Candidate *>> &req,
 
 } // namespace
 
-Matching
-GreedyPriorityScheduler::schedule(
+void
+GreedyPriorityScheduler::scheduleInto(
     const std::vector<std::vector<Candidate>> &per_input,
-    const PortMasks &masks, Rng &rng)
+    const PortMasks &masks, Rng &rng, Matching &out)
 {
     (void)rng; // tie-break randomness is pre-drawn in Candidate::tie
+    out.clear();
     flat.clear();
     for (const auto &cands : per_input)
-        flat.insert(flat.end(), cands.begin(), cands.end());
+        for (const Candidate &c : cands)
+            flat.push_back(&c);
 
     // Arbitrate by (tier, priority, stable tie).  Service tiers are
     // strict (§4.3): the matching is computed tier by tier, from
@@ -141,34 +180,24 @@ GreedyPriorityScheduler::schedule(
     // "maximize the probability of assigning virtual channels to
     // every output link" goal of §4.4.
     std::sort(flat.begin(), flat.end(),
-              [](const Candidate &a, const Candidate &b) {
-                  if (a.tier != b.tier)
-                      return a.tier > b.tier;
-                  if (a.prio != b.prio)
-                      return a.prio > b.prio;
-                  return a.tie > b.tie;
+              [](const Candidate *a, const Candidate *b) {
+                  if (a->tier != b->tier)
+                      return a->tier > b->tier;
+                  if (a->prio != b->prio)
+                      return a->prio > b->prio;
+                  return a->tie > b->tie;
               });
 
-    std::vector<bool> in_taken(numPorts, false);
-    std::vector<bool> out_taken(numPorts, false);
     for (PortId p = 0; p < numPorts; ++p) {
-        if (masks.busyIn.test(p))
-            in_taken[p] = true;
-        if (masks.busyOut.test(p))
-            out_taken[p] = true;
+        inTaken[p] = masks.busyIn.test(p);
+        outTaken[p] = masks.busyOut.test(p);
     }
-
-    Matching m;
-    std::vector<std::vector<const Candidate *>> req(numPorts);
-    std::vector<unsigned> holder(numPorts);
-    std::vector<const Candidate *> choice(numPorts);
-    std::vector<bool> tried(numPorts);
 
     std::size_t tier_begin = 0;
     while (tier_begin < flat.size()) {
-        const int tier = flat[tier_begin].tier;
+        const int tier = flat[tier_begin]->tier;
         std::size_t tier_end = tier_begin;
-        while (tier_end < flat.size() && flat[tier_end].tier == tier)
+        while (tier_end < flat.size() && flat[tier_end]->tier == tier)
             ++tier_end;
 
         // Per-input candidate lists for this tier, in priority order,
@@ -180,52 +209,48 @@ GreedyPriorityScheduler::schedule(
             tried[p] = false;
         }
         for (std::size_t i = tier_begin; i < tier_end; ++i) {
-            const Candidate &c = flat[i];
-            if (c.in < numPorts && !in_taken[c.in] && !out_taken[c.out])
+            const Candidate &c = *flat[i];
+            if (c.in < numPorts && !inTaken[c.in] && !outTaken[c.out])
                 req[c.in].push_back(&c);
         }
         for (std::size_t i = tier_begin; i < tier_end; ++i) {
-            const Candidate &c = flat[i];
-            if (c.in >= numPorts || in_taken[c.in] || tried[c.in])
+            const Candidate &c = *flat[i];
+            if (c.in >= numPorts || inTaken[c.in] || tried[c.in])
                 continue;
             tried[c.in] = true; // one augmenting attempt per input
-            std::vector<bool> visited(numPorts, false);
-            augment(c.in, req, holder, choice, visited, out_taken,
+            std::fill(visited.begin(), visited.end(), false);
+            augment(c.in, req, holder, choice, visited, outTaken,
                     numPorts);
         }
         for (PortId in = 0; in < numPorts; ++in) {
             if (choice[in] != nullptr) {
-                m.push_back(*choice[in]);
-                in_taken[in] = true;
-                out_taken[choice[in]->out] = true;
+                out.push_back(*choice[in]);
+                inTaken[in] = true;
+                outTaken[choice[in]->out] = true;
             }
         }
         tier_begin = tier_end;
     }
-    return m;
 }
 
 OutputDrivenScheduler::OutputDrivenScheduler(unsigned num_ports,
                                              unsigned iterations)
-    : numPorts(num_ports), iters(iterations)
+    : numPorts(num_ports), iters(iterations), grant(num_ports),
+      accept(num_ports), inUsed(num_ports), outUsed(num_ports)
 {
     mmr_assert(iters >= 1, "need at least one matching iteration");
 }
 
-Matching
-OutputDrivenScheduler::schedule(
+void
+OutputDrivenScheduler::scheduleInto(
     const std::vector<std::vector<Candidate>> &per_input,
-    const PortMasks &masks, Rng &rng)
+    const PortMasks &masks, Rng &rng, Matching &out)
 {
     (void)rng;
-    Matching m;
-    std::vector<bool> in_used(numPorts, false);
-    std::vector<bool> out_used(numPorts, false);
+    out.clear();
     for (PortId p = 0; p < numPorts; ++p) {
-        if (masks.busyIn.test(p))
-            in_used[p] = true;
-        if (masks.busyOut.test(p))
-            out_used[p] = true;
+        inUsed[p] = masks.busyIn.test(p);
+        outUsed[p] = masks.busyOut.test(p);
     }
 
     const auto better = [](const Candidate *a, const Candidate *b) {
@@ -240,19 +265,19 @@ OutputDrivenScheduler::schedule(
 
     for (unsigned it = 0; it < iters; ++it) {
         // Grant: every free output picks the best request aimed at it.
-        std::vector<const Candidate *> grant(numPorts, nullptr);
+        std::fill(grant.begin(), grant.end(), nullptr);
         for (const auto &cands : per_input) {
             for (const Candidate &c : cands) {
-                if (c.in >= numPorts || in_used[c.in] || out_used[c.out])
+                if (c.in >= numPorts || inUsed[c.in] || outUsed[c.out])
                     continue;
                 if (better(&c, grant[c.out]))
                     grant[c.out] = &c;
             }
         }
         // Accept: every input takes the best grant it received.
-        std::vector<const Candidate *> accept(numPorts, nullptr);
-        for (PortId out = 0; out < numPorts; ++out) {
-            const Candidate *g = grant[out];
+        std::fill(accept.begin(), accept.end(), nullptr);
+        for (PortId o = 0; o < numPorts; ++o) {
+            const Candidate *g = grant[o];
             if (g != nullptr && better(g, accept[g->in]))
                 accept[g->in] = g;
         }
@@ -261,64 +286,63 @@ OutputDrivenScheduler::schedule(
             const Candidate *a = accept[in];
             if (a == nullptr)
                 continue;
-            in_used[a->in] = true;
-            out_used[a->out] = true;
-            m.push_back(*a);
+            inUsed[a->in] = true;
+            outUsed[a->out] = true;
+            out.push_back(*a);
             progress = true;
         }
         if (!progress)
             break;
     }
-    return m;
 }
 
 AutonetScheduler::AutonetScheduler(unsigned num_ports, unsigned iterations)
-    : numPorts(num_ports), iters(iterations)
+    : numPorts(num_ports), iters(iterations), requests(num_ports),
+      grants(num_ports), offers(num_ports), inUsed(num_ports),
+      outUsed(num_ports)
 {
     mmr_assert(iters >= 1, "need at least one matching iteration");
 }
 
-Matching
-AutonetScheduler::schedule(
+void
+AutonetScheduler::scheduleInto(
     const std::vector<std::vector<Candidate>> &per_input,
-    const PortMasks &masks, Rng &rng)
+    const PortMasks &masks, Rng &rng, Matching &out)
 {
-    Matching m;
-    std::vector<bool> in_used(numPorts, false);
-    std::vector<bool> out_used(numPorts, false);
+    out.clear();
     for (PortId p = 0; p < numPorts; ++p) {
-        if (masks.busyIn.test(p))
-            in_used[p] = true;
-        if (masks.busyOut.test(p))
-            out_used[p] = true;
+        inUsed[p] = masks.busyIn.test(p);
+        outUsed[p] = masks.busyOut.test(p);
     }
 
     for (unsigned it = 0; it < iters; ++it) {
         // Request phase: unmatched inputs request the outputs of all
         // their still-available candidates.
-        std::vector<std::vector<const Candidate *>> requests(numPorts);
+        for (auto &r : requests)
+            r.clear();
         for (const auto &cands : per_input) {
             for (const Candidate &c : cands) {
-                if (c.in < numPorts && !in_used[c.in] &&
-                    !out_used[c.out])
+                if (c.in < numPorts && !inUsed[c.in] &&
+                    !outUsed[c.out])
                     requests[c.out].push_back(&c);
             }
         }
 
         // Grant phase: each free output grants one random requester.
-        std::vector<const Candidate *> grants(numPorts, nullptr);
-        for (PortId out = 0; out < numPorts; ++out) {
-            auto &req = requests[out];
-            if (out_used[out] || req.empty())
+        std::fill(grants.begin(), grants.end(), nullptr);
+        for (PortId o = 0; o < numPorts; ++o) {
+            auto &req = requests[o];
+            if (outUsed[o] || req.empty())
                 continue;
-            grants[out] = req[rng.below(req.size())];
+            grants[o] = req[rng.below(req.size())];
         }
 
         // Accept phase: each input accepts one random grant.
-        std::vector<std::vector<const Candidate *>> offers(numPorts);
-        for (PortId out = 0; out < numPorts; ++out) {
-            if (grants[out] != nullptr)
-                offers[grants[out]->in].push_back(grants[out]);
+        for (auto &o : offers)
+            o.clear();
+        for (PortId o = 0; o < numPorts; ++o) {
+            if (grants[o] != nullptr)
+                offers[grants[o]->in].push_back(grants[o]);
         }
         bool progress = false;
         for (PortId in = 0; in < numPorts; ++in) {
@@ -326,50 +350,47 @@ AutonetScheduler::schedule(
             if (offer.empty())
                 continue;
             const Candidate *pick = offer[rng.below(offer.size())];
-            in_used[pick->in] = true;
-            out_used[pick->out] = true;
-            m.push_back(*pick);
+            inUsed[pick->in] = true;
+            outUsed[pick->out] = true;
+            out.push_back(*pick);
             progress = true;
         }
         if (!progress)
             break;
     }
-    return m;
 }
 
 IslipScheduler::IslipScheduler(unsigned num_ports, unsigned iterations)
     : numPorts(num_ports), iters(iterations), grantPtr(num_ports, 0),
-      acceptPtr(num_ports, 0)
+      acceptPtr(num_ports, 0),
+      req(static_cast<std::size_t>(num_ports) * num_ports),
+      grant(num_ports), inUsed(num_ports), outUsed(num_ports)
 {
     mmr_assert(iters >= 1, "need at least one matching iteration");
 }
 
-Matching
-IslipScheduler::schedule(
+void
+IslipScheduler::scheduleInto(
     const std::vector<std::vector<Candidate>> &per_input,
-    const PortMasks &masks, Rng &rng)
+    const PortMasks &masks, Rng &rng, Matching &out)
 {
     (void)rng;
-    Matching m;
-    std::vector<bool> in_used(numPorts, false);
-    std::vector<bool> out_used(numPorts, false);
+    out.clear();
     for (PortId p = 0; p < numPorts; ++p) {
-        if (masks.busyIn.test(p))
-            in_used[p] = true;
-        if (masks.busyOut.test(p))
-            out_used[p] = true;
+        inUsed[p] = masks.busyIn.test(p);
+        outUsed[p] = masks.busyOut.test(p);
     }
 
     for (unsigned it = 0; it < iters; ++it) {
         // Requests: candidate per (input, output); keep the best
         // candidate per pair so the grant can return it.
-        std::vector<std::vector<const Candidate *>> req(
-            numPorts, std::vector<const Candidate *>(numPorts, nullptr));
+        std::fill(req.begin(), req.end(), nullptr);
         for (const auto &cands : per_input) {
             for (const Candidate &c : cands) {
-                if (in_used[c.in] || out_used[c.out])
+                if (inUsed[c.in] || outUsed[c.out])
                     continue;
-                const Candidate *&slot = req[c.out][c.in];
+                const Candidate *&slot =
+                    req[static_cast<std::size_t>(c.out) * numPorts + c.in];
                 if (slot == nullptr || c.tier > slot->tier ||
                     (c.tier == slot->tier && c.prio > slot->prio))
                     slot = &c;
@@ -377,14 +398,15 @@ IslipScheduler::schedule(
         }
 
         // Grant: round-robin from grantPtr over inputs.
-        std::vector<const Candidate *> grant(numPorts, nullptr);
-        for (PortId out = 0; out < numPorts; ++out) {
-            if (out_used[out])
+        std::fill(grant.begin(), grant.end(), nullptr);
+        for (PortId o = 0; o < numPorts; ++o) {
+            if (outUsed[o])
                 continue;
+            const std::size_t row = static_cast<std::size_t>(o) * numPorts;
             for (unsigned k = 0; k < numPorts; ++k) {
-                const unsigned in = (grantPtr[out] + k) % numPorts;
-                if (req[out][in] != nullptr) {
-                    grant[out] = req[out][in];
+                const unsigned in = (grantPtr[o] + k) % numPorts;
+                if (req[row + in] != nullptr) {
+                    grant[o] = req[row + in];
                     break;
                 }
             }
@@ -392,21 +414,21 @@ IslipScheduler::schedule(
 
         // Accept: round-robin from acceptPtr over outputs.
         for (PortId in = 0; in < numPorts; ++in) {
-            if (in_used[in])
+            if (inUsed[in])
                 continue;
             const Candidate *best = nullptr;
             for (unsigned k = 0; k < numPorts; ++k) {
-                const unsigned out = (acceptPtr[in] + k) % numPorts;
-                if (grant[out] != nullptr && grant[out]->in == in) {
-                    best = grant[out];
+                const unsigned o = (acceptPtr[in] + k) % numPorts;
+                if (grant[o] != nullptr && grant[o]->in == in) {
+                    best = grant[o];
                     break;
                 }
             }
             if (best == nullptr)
                 continue;
-            in_used[best->in] = true;
-            out_used[best->out] = true;
-            m.push_back(*best);
+            inUsed[best->in] = true;
+            outUsed[best->out] = true;
+            out.push_back(*best);
             // iSLIP: pointers advance only on first-iteration accepts,
             // preserving the desynchronization property.
             if (it == 0) {
@@ -415,7 +437,6 @@ IslipScheduler::schedule(
             }
         }
     }
-    return m;
 }
 
 PerfectSwitchScheduler::PerfectSwitchScheduler(unsigned num_ports)
@@ -423,16 +444,16 @@ PerfectSwitchScheduler::PerfectSwitchScheduler(unsigned num_ports)
 {
 }
 
-Matching
-PerfectSwitchScheduler::schedule(
+void
+PerfectSwitchScheduler::scheduleInto(
     const std::vector<std::vector<Candidate>> &per_input,
-    const PortMasks &masks, Rng &rng)
+    const PortMasks &masks, Rng &rng, Matching &out)
 {
     (void)rng;
     // Output conflicts do not exist: each input link simply transmits
     // its best candidate (one flit per input link per cycle — link
     // bandwidth still binds, switch bandwidth does not).
-    Matching m;
+    out.clear();
     for (const auto &cands : per_input) {
         const Candidate *best = nullptr;
         for (const Candidate &c : cands) {
@@ -443,9 +464,8 @@ PerfectSwitchScheduler::schedule(
                 best = &c;
         }
         if (best != nullptr)
-            m.push_back(*best);
+            out.push_back(*best);
     }
-    return m;
 }
 
 } // namespace mmr

@@ -16,6 +16,13 @@
  *    cf. ref [21] Mekkittikul & McKeown);
  *  - Perfect: N-times-speedup switch with no port conflicts, the
  *    delay/jitter lower bound of §5.1.
+ *
+ * The per-cycle entry point is scheduleInto(), which writes the
+ * matching into a caller-owned vector so the router can reuse one
+ * Matching across cycles; every implementation likewise keeps its
+ * working arrays as members, so a steady-state schedule computes no
+ * heap allocation at all.  schedule() remains as a convenience
+ * wrapper returning the matching by value.
  */
 
 #ifndef MMR_ROUTER_SWITCH_SCHED_HH
@@ -56,15 +63,28 @@ class SwitchScheduler
     virtual ~SwitchScheduler() = default;
 
     /**
-     * Compute the matching for the next flit cycle.
+     * Compute the matching for the next flit cycle into @p out
+     * (cleared first).  The caller owns @p out and is expected to
+     * reuse it across cycles so its capacity persists.
      *
      * @param per_input candidate sets, indexed by input port
      * @param masks ports already claimed this cycle
      * @param rng arbitration randomness
+     * @param out receives the matching
      */
-    virtual Matching schedule(
+    virtual void scheduleInto(
         const std::vector<std::vector<Candidate>> &per_input,
-        const PortMasks &masks, Rng &rng) = 0;
+        const PortMasks &masks, Rng &rng, Matching &out) = 0;
+
+    /** Convenience wrapper returning the matching by value. */
+    Matching
+    schedule(const std::vector<std::vector<Candidate>> &per_input,
+             const PortMasks &masks, Rng &rng)
+    {
+        Matching m;
+        scheduleInto(per_input, masks, rng, m);
+        return m;
+    }
 
     /** Whether output ports may be granted to several inputs. */
     virtual bool allowsOutputSharing() const { return false; }
@@ -97,13 +117,26 @@ class GreedyPriorityScheduler : public SwitchScheduler
   public:
     explicit GreedyPriorityScheduler(unsigned num_ports);
 
-    Matching schedule(const std::vector<std::vector<Candidate>> &per_input,
-                      const PortMasks &masks, Rng &rng) override;
+    void scheduleInto(const std::vector<std::vector<Candidate>> &per_input,
+                      const PortMasks &masks, Rng &rng,
+                      Matching &out) override;
     std::string name() const override { return "greedy-priority"; }
 
   private:
     unsigned numPorts;
-    std::vector<Candidate> flat; ///< reused scratch
+
+    // Per-cycle scratch, reused so steady state allocates nothing.
+    // flat holds pointers into the caller's candidate lists: sorting
+    // 8-byte pointers moves far less data per cycle than sorting the
+    // 40-byte Candidate values themselves.
+    std::vector<const Candidate *> flat;
+    std::vector<std::vector<const Candidate *>> req; ///< per input
+    std::vector<unsigned> holder;
+    std::vector<const Candidate *> choice;
+    std::vector<bool> tried;
+    std::vector<bool> visited;
+    std::vector<bool> inTaken;
+    std::vector<bool> outTaken;
 };
 
 /**
@@ -119,13 +152,19 @@ class OutputDrivenScheduler : public SwitchScheduler
   public:
     OutputDrivenScheduler(unsigned num_ports, unsigned iterations);
 
-    Matching schedule(const std::vector<std::vector<Candidate>> &per_input,
-                      const PortMasks &masks, Rng &rng) override;
+    void scheduleInto(const std::vector<std::vector<Candidate>> &per_input,
+                      const PortMasks &masks, Rng &rng,
+                      Matching &out) override;
     std::string name() const override { return "output-driven"; }
 
   private:
     unsigned numPorts;
     unsigned iters;
+
+    std::vector<const Candidate *> grant;  ///< scratch, per output
+    std::vector<const Candidate *> accept; ///< scratch, per input
+    std::vector<bool> inUsed;
+    std::vector<bool> outUsed;
 };
 
 /** Random request/grant/accept iterative matching (Autonet / PIM). */
@@ -134,13 +173,20 @@ class AutonetScheduler : public SwitchScheduler
   public:
     AutonetScheduler(unsigned num_ports, unsigned iterations);
 
-    Matching schedule(const std::vector<std::vector<Candidate>> &per_input,
-                      const PortMasks &masks, Rng &rng) override;
+    void scheduleInto(const std::vector<std::vector<Candidate>> &per_input,
+                      const PortMasks &masks, Rng &rng,
+                      Matching &out) override;
     std::string name() const override { return "autonet"; }
 
   private:
     unsigned numPorts;
     unsigned iters;
+
+    std::vector<std::vector<const Candidate *>> requests; ///< per out
+    std::vector<const Candidate *> grants;
+    std::vector<std::vector<const Candidate *>> offers; ///< per input
+    std::vector<bool> inUsed;
+    std::vector<bool> outUsed;
 };
 
 /** Round-robin iterative matching (iSLIP-style extension baseline). */
@@ -149,8 +195,9 @@ class IslipScheduler : public SwitchScheduler
   public:
     IslipScheduler(unsigned num_ports, unsigned iterations);
 
-    Matching schedule(const std::vector<std::vector<Candidate>> &per_input,
-                      const PortMasks &masks, Rng &rng) override;
+    void scheduleInto(const std::vector<std::vector<Candidate>> &per_input,
+                      const PortMasks &masks, Rng &rng,
+                      Matching &out) override;
     std::string name() const override { return "islip"; }
 
   private:
@@ -158,6 +205,11 @@ class IslipScheduler : public SwitchScheduler
     unsigned iters;
     std::vector<unsigned> grantPtr;  ///< per output, over inputs
     std::vector<unsigned> acceptPtr; ///< per input, over outputs
+
+    std::vector<const Candidate *> req; ///< out×in matrix, flattened
+    std::vector<const Candidate *> grant;
+    std::vector<bool> inUsed;
+    std::vector<bool> outUsed;
 };
 
 /** N-times speedup switch: every input's best candidate is granted. */
@@ -166,8 +218,9 @@ class PerfectSwitchScheduler : public SwitchScheduler
   public:
     explicit PerfectSwitchScheduler(unsigned num_ports);
 
-    Matching schedule(const std::vector<std::vector<Candidate>> &per_input,
-                      const PortMasks &masks, Rng &rng) override;
+    void scheduleInto(const std::vector<std::vector<Candidate>> &per_input,
+                      const PortMasks &masks, Rng &rng,
+                      Matching &out) override;
     bool allowsOutputSharing() const override { return true; }
     std::string name() const override { return "perfect"; }
 

@@ -57,54 +57,11 @@ VcMemoryModel::minBanksFor(double link_rate_bps, unsigned flit_bits,
 }
 
 VcMemory::VcMemory(unsigned nvcs, unsigned per_vc_depth)
-    : vcs(nvcs), perVcDepth(per_vc_depth), flitsAvail(nvcs)
+    : vcs(nvcs), perVcDepth(per_vc_depth), flitsAvail(nvcs),
+      schedDirty(nvcs)
 {
     mmr_assert(nvcs > 0, "VC memory needs at least one VC");
     mmr_assert(per_vc_depth > 0, "per-VC depth must be positive");
-}
-
-VcState &
-VcMemory::vc(VcId v)
-{
-    mmr_assert(v < vcs.size(), "VC ", v, " out of range");
-    return vcs[v];
-}
-
-const VcState &
-VcMemory::vc(VcId v) const
-{
-    mmr_assert(v < vcs.size(), "VC ", v, " out of range");
-    return vcs[v];
-}
-
-bool
-VcMemory::deposit(VcId v, const Flit &f)
-{
-    VcState &state = vc(v);
-    if (state.depth() >= perVcDepth) {
-        ++overflows;
-        return false;
-    }
-    state.push(f);
-    ++occupied;
-    flitsAvail.set(v);
-    return true;
-}
-
-unsigned
-VcMemory::freeSlots(VcId v) const
-{
-    const auto d = static_cast<unsigned>(vc(v).depth());
-    return d >= perVcDepth ? 0 : perVcDepth - d;
-}
-
-void
-VcMemory::noteDrained(VcId v)
-{
-    mmr_assert(occupied > 0, "drain with zero occupancy");
-    --occupied;
-    if (vc(v).empty())
-        flitsAvail.clear(v);
 }
 
 void

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "base/bitvector.hh"
+#include "base/logging.hh"
 #include "router/vc_state.hh"
 
 namespace mmr
@@ -70,15 +71,39 @@ class VcMemory
 
     unsigned numVcs() const { return static_cast<unsigned>(vcs.size()); }
 
-    VcState &vc(VcId v);
-    const VcState &vc(VcId v) const;
+    VcState &
+    vc(VcId v)
+    {
+        mmr_assert(v < vcs.size(), "VC ", v, " out of range");
+        return vcs[v];
+    }
+
+    const VcState &
+    vc(VcId v) const
+    {
+        mmr_assert(v < vcs.size(), "VC ", v, " out of range");
+        return vcs[v];
+    }
 
     /**
      * Store an arriving flit into its VC; false (and counted) when the
      * VC is at its depth limit — upstream flow control should have
      * prevented this.
      */
-    bool deposit(VcId v, const Flit &f);
+    bool
+    deposit(VcId v, const Flit &f)
+    {
+        VcState &state = vc(v);
+        if (state.depth() >= perVcDepth) {
+            ++overflows;
+            return false;
+        }
+        state.push(f);
+        ++occupied;
+        flitsAvail.set(v);
+        schedDirty.set(v);
+        return true;
+    }
 
     /** Flits currently buffered across all VCs. */
     std::size_t occupancy() const { return occupied; }
@@ -87,7 +112,12 @@ class VcMemory
     std::uint64_t overflowCount() const { return overflows; }
 
     /** Per-VC free space in flits. */
-    unsigned freeSlots(VcId v) const;
+    unsigned
+    freeSlots(VcId v) const
+    {
+        const auto d = static_cast<unsigned>(vc(v).depth());
+        return d >= perVcDepth ? 0 : perVcDepth - d;
+    }
 
     unsigned depthLimit() const { return perVcDepth; }
 
@@ -95,7 +125,43 @@ class VcMemory
     const BitVector &flitsAvailable() const { return flitsAvail; }
 
     /** Called by the router when a flit leaves a VC. */
-    void noteDrained(VcId v);
+    void
+    noteDrained(VcId v)
+    {
+        mmr_assert(occupied > 0, "drain with zero occupancy");
+        --occupied;
+        if (vc(v).empty())
+            flitsAvail.clear(v);
+        schedDirty.set(v);
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling-state change tracking (link-scheduler mask cache)
+    // ------------------------------------------------------------------
+
+    /**
+     * Record that VC @p v's scheduling inputs changed (flit count,
+     * pending grants, serviced counter, binding, mapping or quota),
+     * so the link scheduler must re-evaluate its eligibility bit.
+     * deposit() and noteDrained() mark automatically; the router marks
+     * explicitly when it mutates the VcState behind the memory's back
+     * (grant bookkeeping, segment install/remove, renegotiation).
+     */
+    void markSchedDirty(VcId v) { schedDirty.set(v); }
+
+    /** Conservative form: every VC must be re-evaluated. */
+    void markAllSchedDirty() { allDirty = true; }
+
+    /** Dirty set accessors for the owning link scheduler. */
+    bool allSchedDirty() const { return allDirty; }
+    const BitVector &schedDirtyMask() const { return schedDirty; }
+
+    void
+    clearSchedDirty()
+    {
+        schedDirty.clearAll();
+        allDirty = false;
+    }
 
     /**
      * Occupancy conservation audit ('vc-occupancy'); panics when the
@@ -117,6 +183,8 @@ class VcMemory
     std::size_t occupied = 0;
     std::uint64_t overflows = 0;
     BitVector flitsAvail;
+    BitVector schedDirty;
+    bool allDirty = true; ///< start conservative: full first rebuild
 };
 
 } // namespace mmr

@@ -64,54 +64,10 @@ VcState::bindControl(ConnId conn_)
 }
 
 void
-VcState::push(const Flit &f)
-{
-    if (!bound())
-        mmr_panic("push() on unbound VC (flit seq ", f.seq, ")");
-    fifo.push_back(f);
-}
-
-Flit
-VcState::pop()
-{
-    if (!bound())
-        mmr_panic("pop() from unbound VC");
-    if (fifo.empty())
-        mmr_panic("pop() from empty VC");
-    Flit f = fifo.front();
-    fifo.pop_front();
-    return f;
-}
-
-const Flit &
-VcState::head() const
-{
-    if (!bound())
-        mmr_panic("head() of unbound VC");
-    if (fifo.empty())
-        mmr_panic("head() of empty VC");
-    return fifo.front();
-}
-
-const Flit &
-VcState::ungrantedHead() const
-{
-    mmr_assert(hasUngrantedFlit(), "no ungranted flit in VC");
-    return fifo[grantsPending];
-}
-
-void
 VcState::setMapping(PortId out_port, VcId out_vc)
 {
     outputPort = out_port;
     outputVc = out_vc;
-}
-
-void
-VcState::noteGrantApplied()
-{
-    mmr_assert(grantsPending > 0, "applying a grant never issued");
-    --grantsPending;
 }
 
 void
@@ -120,22 +76,6 @@ VcState::setVbrAlloc(unsigned perm, unsigned peak)
     mmr_assert(peak >= perm, "VBR peak below permanent bandwidth");
     vbrPerm = perm;
     vbrPeak = peak;
-}
-
-unsigned
-VcState::quotaThisRound() const
-{
-    switch (klass) {
-      case TrafficClass::CBR:
-        return cbrAlloc;
-      case TrafficClass::VBR:
-        return vbrPeak;
-      case TrafficClass::BestEffort:
-      case TrafficClass::Control:
-        // No reservation: bounded only by the round itself.
-        return ~0u;
-    }
-    return 0;
 }
 
 } // namespace mmr

@@ -14,13 +14,69 @@
 #ifndef MMR_ROUTER_VC_STATE_HH
 #define MMR_ROUTER_VC_STATE_HH
 
-#include <deque>
+#include <cstddef>
+#include <vector>
 
+#include "base/logging.hh"
 #include "base/types.hh"
 #include "router/flit.hh"
 
 namespace mmr
 {
+
+/**
+ * Fixed-layout flit FIFO: a power-of-two ring over a flat vector.
+ * Unlike std::deque it never allocates once grown to its working
+ * depth, so the per-cycle evaluate/advance path stays heap-free in
+ * steady state (capacity persists across empty/non-empty transitions).
+ */
+class FlitFifo
+{
+  public:
+    bool empty() const { return used == 0; }
+    std::size_t size() const { return used; }
+
+    void
+    push_back(const Flit &f)
+    {
+        if (used == buf.size())
+            grow();
+        buf[(head + used) & (buf.size() - 1)] = f;
+        ++used;
+    }
+
+    void
+    pop_front()
+    {
+        head = (head + 1) & (buf.size() - 1);
+        --used;
+    }
+
+    const Flit &front() const { return buf[head]; }
+
+    /** @p i counted from the front (0 = head). */
+    const Flit &
+    operator[](std::size_t i) const
+    {
+        return buf[(head + i) & (buf.size() - 1)];
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t cap = buf.empty() ? 4 : buf.size() * 2;
+        std::vector<Flit> next(cap);
+        for (std::size_t i = 0; i < used; ++i)
+            next[i] = buf[(head + i) & (buf.size() - 1)];
+        buf.swap(next);
+        head = 0;
+    }
+
+    std::vector<Flit> buf; ///< size is always zero or a power of two
+    std::size_t head = 0;
+    std::size_t used = 0;
+};
 
 class VcState
 {
@@ -44,9 +100,36 @@ class VcState
      * unbound VC, or pop/head on an empty one, panic: silently
      * buffering into (or reading from) a free channel would corrupt
      * the flit-conservation ledger. */
-    void push(const Flit &f);
-    Flit pop();
-    const Flit &head() const;
+    void
+    push(const Flit &f)
+    {
+        if (!bound())
+            mmr_panic("push() on unbound VC (flit seq ", f.seq, ")");
+        fifo.push_back(f);
+    }
+
+    Flit
+    pop()
+    {
+        if (!bound())
+            mmr_panic("pop() from unbound VC");
+        if (fifo.empty())
+            mmr_panic("pop() from empty VC");
+        Flit f = fifo.front();
+        fifo.pop_front();
+        return f;
+    }
+
+    const Flit &
+    head() const
+    {
+        if (!bound())
+            mmr_panic("head() of unbound VC");
+        if (fifo.empty())
+            mmr_panic("head() of empty VC");
+        return fifo.front();
+    }
+
     bool empty() const { return fifo.empty(); }
     std::size_t depth() const { return fifo.size(); }
 
@@ -64,13 +147,24 @@ class VcState
     /** Grants issued but not yet applied (pipelined arbitration). */
     unsigned pendingGrants() const { return grantsPending; }
     void noteGrantIssued() { ++grantsPending; }
-    void noteGrantApplied();
+
+    void
+    noteGrantApplied()
+    {
+        mmr_assert(grantsPending > 0, "applying a grant never issued");
+        --grantsPending;
+    }
 
     /** Flits available beyond those already granted. */
     bool hasUngrantedFlit() const { return fifo.size() > grantsPending; }
 
     /** Head flit not yet covered by a pending grant. */
-    const Flit &ungrantedHead() const;
+    const Flit &
+    ungrantedHead() const
+    {
+        mmr_assert(hasUngrantedFlit(), "no ungranted flit in VC");
+        return fifo[grantsPending];
+    }
 
     unsigned allocCycles() const { return cbrAlloc; }
     unsigned permCycles() const { return vbrPerm; }
@@ -85,7 +179,21 @@ class VcState
     void setInterArrival(double cycles) { interArrivalCycles_ = cycles; }
 
     /** Remaining quota this round given the service class (§4.3). */
-    unsigned quotaThisRound() const;
+    unsigned
+    quotaThisRound() const
+    {
+        switch (klass) {
+          case TrafficClass::CBR:
+            return cbrAlloc;
+          case TrafficClass::VBR:
+            return vbrPeak;
+          case TrafficClass::BestEffort:
+          case TrafficClass::Control:
+            // No reservation: bounded only by the round itself.
+            return ~0u;
+        }
+        return 0;
+    }
 
     /**
      * Stable arbitration tie-break, drawn once when the VC is bound.
@@ -100,7 +208,7 @@ class VcState
   private:
     ConnId connId = kInvalidConn;
     TrafficClass klass = TrafficClass::BestEffort;
-    std::deque<Flit> fifo;
+    FlitFifo fifo;
 
     PortId outputPort = kInvalidPort;
     VcId outputVc = kInvalidVc;

@@ -19,11 +19,19 @@ std::optional<bool> runtimeOverride;
 std::optional<bool>
 envSetting()
 {
-    const char *v = std::getenv("MMR_INVARIANTS");
-    if (v == nullptr || *v == '\0')
-        return std::nullopt;
-    return !(v[0] == '0' || v[0] == 'n' || v[0] == 'N' || v[0] == 'f' ||
-             v[0] == 'F');
+    // Read the environment once per process: enabled() sits on the
+    // every-cycle audit path, and getenv() is a linear scan of the
+    // environment block.  Changing MMR_INVARIANTS after startup was
+    // never supported — runtime toggling goes through setEnabled().
+    static const std::optional<bool> cached = [] {
+        const char *v = std::getenv("MMR_INVARIANTS");
+        if (v == nullptr || *v == '\0')
+            return std::optional<bool>{};
+        return std::optional<bool>(
+            !(v[0] == '0' || v[0] == 'n' || v[0] == 'N' ||
+              v[0] == 'f' || v[0] == 'F'));
+    }();
+    return cached;
 }
 
 } // namespace

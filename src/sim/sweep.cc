@@ -1,0 +1,77 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace mmr
+{
+
+unsigned
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::vector<ExperimentResult>
+runExperiments(
+    const std::vector<ExperimentConfig> &cfgs, unsigned jobs,
+    const std::function<void(std::size_t, const ExperimentResult &)>
+        &onDone)
+{
+    std::vector<ExperimentResult> results(cfgs.size());
+    if (cfgs.empty())
+        return results;
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            results[i] = runSingleRouter(cfgs[i]);
+            if (onDone)
+                onDone(i, results[i]);
+        }
+        return results;
+    }
+
+    jobs = std::min<unsigned>(jobs,
+                              static_cast<unsigned>(cfgs.size()));
+
+    std::atomic<std::size_t> next{0};
+    std::mutex doneMutex;
+    std::exception_ptr firstError;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= cfgs.size())
+                return;
+            try {
+                results[i] = runSingleRouter(cfgs[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(doneMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+                continue;
+            }
+            if (onDone) {
+                std::lock_guard<std::mutex> lock(doneMutex);
+                onDone(i, results[i]);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace mmr

@@ -12,6 +12,8 @@
 #ifndef MMR_TRAFFIC_BESTEFFORT_SOURCE_HH
 #define MMR_TRAFFIC_BESTEFFORT_SOURCE_HH
 
+#include <algorithm>
+
 #include "base/rng.hh"
 #include "traffic/source.hh"
 
@@ -26,6 +28,7 @@ class PoissonSource : public TrafficSource
                   TrafficClass cls = TrafficClass::BestEffort);
 
     unsigned arrivals(Cycle now) override;
+    double nextDueCycle() const override { return nextArrival; }
     double meanRateBps() const override { return rateBps; }
     TrafficClass trafficClass() const override { return klass; }
 
@@ -53,6 +56,16 @@ class OnOffSource : public TrafficSource
                 double mean_burst_cycles, double link_rate_bps, Rng &rng);
 
     unsigned arrivals(Cycle now) override;
+
+    double
+    nextDueCycle() const override
+    {
+        // While on, the next event is an emission or the end of the
+        // burst, whichever comes first; while off, nothing happens
+        // until the off period expires.
+        return on ? std::min(nextEmit, stateEnd) : stateEnd;
+    }
+
     double meanRateBps() const override { return meanRate; }
     double peakRateBps() const override { return burstRate; }
     TrafficClass trafficClass() const override

@@ -28,6 +28,7 @@ class CbrSource : public TrafficSource
     CbrSource(double rate_bps, double link_rate_bps, Rng &rng);
 
     unsigned arrivals(Cycle now) override;
+    double nextDueCycle() const override { return nextArrival; }
     double meanRateBps() const override { return rateBps; }
     TrafficClass trafficClass() const override
     {

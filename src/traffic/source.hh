@@ -26,6 +26,17 @@ class TrafficSource
     /** Number of flits that become ready during cycle @p now. */
     virtual unsigned arrivals(Cycle now) = 0;
 
+    /**
+     * Earliest cycle (possibly fractional) at which this source can
+     * next produce an arrival or change state.  A harness may skip
+     * polling arrivals() until that cycle: sources guarantee that
+     * polls strictly before the due cycle return 0 and have no side
+     * effects (no state change, no RNG draw), so skipping them is
+     * bit-exact with polling every cycle.  The default of 0.0 opts
+     * out: the source is polled every cycle.
+     */
+    virtual double nextDueCycle() const { return 0.0; }
+
     /** Long-run average rate in bits/s. */
     virtual double meanRateBps() const = 0;
 

@@ -55,6 +55,13 @@ class TraceVbrSource : public TrafficSource
                    unsigned flit_bits, Rng &rng);
 
     unsigned arrivals(Cycle now) override;
+
+    double
+    nextDueCycle() const override
+    {
+        return frameActive ? nextEmit : nextFrameStart;
+    }
+
     double meanRateBps() const override { return meanBps; }
     double peakRateBps() const override { return peakBps; }
     TrafficClass trafficClass() const override

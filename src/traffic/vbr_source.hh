@@ -48,6 +48,15 @@ class VbrSource : public TrafficSource
               unsigned flit_bits, Rng &rng);
 
     unsigned arrivals(Cycle now) override;
+
+    double
+    nextDueCycle() const override
+    {
+        // Between frames nothing happens until the next frame slot;
+        // within a frame the next event is the next flit emission.
+        return frameActive ? nextEmit : nextFrameStart;
+    }
+
     double meanRateBps() const override { return prof.meanRateBps; }
     double peakRateBps() const override
     {

@@ -201,5 +201,82 @@ INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorProperty,
                          ::testing::Values(1, 7, 63, 64, 65, 127, 128,
                                            129, 255, 256, 1000));
 
+// ---------------------------------------------------------------------
+// Word-boundary behaviour of the word-at-a-time scan paths
+// (forEachSet / forEachSetAnd), which the link scheduler's eligibility
+// walk depends on.  Sizes straddle the 64-bit word edge on both sides.
+// ---------------------------------------------------------------------
+
+class BitVectorWordScan : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BitVectorWordScan, ForEachSetVisitsExactlyTheSetBits)
+{
+    const std::size_t n = GetParam();
+    BitVector v(n);
+    // A pattern that crosses every word boundary: both edges of each
+    // word, plus a stride-3 comb.
+    std::vector<std::size_t> expect;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool edge = (i % 64 == 0) || (i % 64 == 63);
+        if (edge || i % 3 == 0) {
+            v.set(i);
+            expect.push_back(i);
+        }
+    }
+    std::vector<std::size_t> got;
+    v.forEachSet([&](std::size_t i) { got.push_back(i); });
+    EXPECT_EQ(got, expect);
+    EXPECT_EQ(v.count(), expect.size());
+}
+
+TEST_P(BitVectorWordScan, ForEachSetAndMatchesPerBitIntersection)
+{
+    const std::size_t n = GetParam();
+    BitVector a(n), b(n);
+    // Masks that only overlap across word boundaries: a takes the top
+    // two bits of every word, b the bottom two plus every 5th bit.
+    std::vector<std::size_t> expect;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool ina = (i % 64 >= 62) || (i % 7 == 0);
+        const bool inb = (i % 64 <= 1) || (i % 5 == 0);
+        if (ina)
+            a.set(i);
+        if (inb)
+            b.set(i);
+        if (ina && inb)
+            expect.push_back(i);
+    }
+    std::vector<std::size_t> got;
+    a.forEachSetAnd(b, [&](std::size_t i) { got.push_back(i); });
+    EXPECT_EQ(got, expect);
+
+    // The materialized intersection agrees with the fused scan.
+    const BitVector both = a & b;
+    std::vector<std::size_t> viaAnd;
+    both.forEachSet([&](std::size_t i) { viaAnd.push_back(i); });
+    EXPECT_EQ(viaAnd, expect);
+}
+
+TEST_P(BitVectorWordScan, LastBitOfVectorIsReachable)
+{
+    const std::size_t n = GetParam();
+    BitVector v(n);
+    v.set(n - 1);
+    std::size_t visits = 0, last = 0;
+    v.forEachSet([&](std::size_t i) {
+        ++visits;
+        last = i;
+    });
+    EXPECT_EQ(visits, 1u);
+    EXPECT_EQ(last, n - 1);
+    EXPECT_EQ(v.findFirst(), n - 1);
+    EXPECT_EQ(v.findNext(n - 1), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordEdges, BitVectorWordScan,
+                         ::testing::Values(63, 64, 65, 256));
+
 } // namespace
 } // namespace mmr

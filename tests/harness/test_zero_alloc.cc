@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Steady-state allocation audit: once warmed up, a cycle of
+ * MmrRouter::evaluate/advance must perform no heap allocation at all
+ * — every per-cycle container (candidate lists, matching, scheduler
+ * scratch, eligibility masks, VC rings) is preallocated and reused.
+ *
+ * This lives in its own test binary because it replaces the global
+ * operator new/delete with counting versions; the counter is only
+ * armed inside the measurement window so gtest's own allocations do
+ * not interfere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "router/router.hh"
+#include "sim/kernel.hh"
+
+namespace
+{
+
+std::atomic<bool> counting{false};
+std::atomic<std::uint64_t> allocations{0};
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    if (counting.load(std::memory_order_relaxed))
+        allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace mmr
+{
+namespace
+{
+
+TEST(ZeroAlloc, SteadyStateCycleAllocatesNothing)
+{
+    RouterConfig cfg;
+    cfg.numPorts = 4;
+    cfg.vcsPerPort = 64;
+    cfg.vcBufferFlits = 8;
+    cfg.candidates = 4;
+    cfg.seed = 7;
+
+    MmrRouter router(cfg, /*metrics=*/nullptr);
+    std::uint64_t delivered = 0;
+    router.setSink([&](PortId, VcId, const Flit &, Cycle) {
+        ++delivered;
+    });
+
+    // A saturating mesh of CBR connections so every port arbitrates
+    // every cycle.
+    std::vector<ConnId> conns;
+    for (PortId in = 0; in < 4; ++in) {
+        for (PortId out = 0; out < 4; ++out) {
+            const ConnId id =
+                router.openCbr(in, out, 60 * kMbps);
+            ASSERT_NE(id, kInvalidConn);
+            conns.push_back(id);
+        }
+    }
+
+    Kernel kernel;
+    kernel.add(&router, "dut");
+
+    std::vector<std::uint32_t> seq(conns.size(), 0);
+    const auto injectAll = [&] {
+        for (std::size_t i = 0; i < conns.size(); ++i) {
+            Flit f;
+            f.seq = seq[i];
+            f.readyTime = kernel.now();
+            if (router.inject(conns[i], f))
+                ++seq[i];
+        }
+    };
+
+    // Warm-up: 2000 cycles of full-tilt traffic grows every scratch
+    // container to its steady-state capacity.
+    for (Cycle t = 0; t < 2000; ++t) {
+        injectAll();
+        kernel.step();
+    }
+    ASSERT_GT(delivered, 0u) << "workload never moved a flit";
+
+    // Measurement: the next 2000 cycles must not allocate once.
+    allocations.store(0);
+    counting.store(true);
+    for (Cycle t = 0; t < 2000; ++t) {
+        injectAll();
+        kernel.step();
+    }
+    counting.store(false);
+
+    EXPECT_EQ(allocations.load(), 0u)
+        << "heap allocation on the steady-state evaluate/advance path";
+}
+
+} // namespace
+} // namespace mmr

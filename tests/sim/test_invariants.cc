@@ -162,11 +162,13 @@ TEST(InvariantViolationDeath, FlitConservation)
     InvariantChecker chk;
     router.registerInvariants(chk);
 
-    // Remove the flit behind the router's back: it is now neither
-    // buffered nor forwarded, so a flit has been "dropped".
+    // Remove the flit behind the router's back (keeping the occupancy
+    // counter in step, so the theft is invisible to vc-occupancy): it
+    // is now neither buffered nor forwarded, so a flit was "dropped".
     const SegmentParams *p = router.connection(id);
     ASSERT_NE(p, nullptr);
     router.inputMemory(p->in).vc(p->inVc).pop();
+    router.inputMemory(p->in).noteDrained(p->inVc);
     EXPECT_DEATH(chk.run("flit-conservation", 0),
                  "invariant 'flit-conservation' violated");
 }
