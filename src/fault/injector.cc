@@ -1,0 +1,77 @@
+#include "fault/injector.hh"
+
+#include "base/logging.hh"
+#include "obs/stats_registry.hh"
+
+namespace mmr
+{
+
+FaultInjector::FaultInjector(Network &net_, FaultPlan plan,
+                             std::uint64_t seed)
+    : net(net_), thePlan(std::move(plan)),
+      corruptRng(seed ^ 0xc0ffee0ddfaded11ULL),
+      dropRng(seed ^ 0x9d70bab1e5e7d09fULL)
+{
+    const FaultModel &m = thePlan.model();
+    if (m.corruptRate > 0.0) {
+        net.setLinkCorruptHook(
+            [this, rate = m.corruptRate](NodeId, PortId, const Flit &) {
+                if (!corruptRng.chance(rate))
+                    return false;
+                ++statCorrupted;
+                return true;
+            });
+    }
+    if (m.probeDropRate > 0.0) {
+        if (net.probes().setupTimeout() == 0)
+            net.probes().setSetupTimeout(kDefaultSetupTimeout);
+        net.probes().setMessageLoss(
+            [this, rate = m.probeDropRate](const TimedSetup &) {
+                if (!dropRng.chance(rate))
+                    return false;
+                ++statDropped;
+                return true;
+            });
+    }
+}
+
+FaultInjector::~FaultInjector()
+{
+    if (thePlan.model().corruptRate > 0.0)
+        net.setLinkCorruptHook(nullptr);
+    if (thePlan.model().probeDropRate > 0.0)
+        net.probes().setMessageLoss(nullptr);
+}
+
+void
+FaultInjector::evaluate(Cycle now)
+{
+    const auto &events = thePlan.events();
+    while (nextEvent < events.size() && events[nextEvent].at <= now) {
+        const FaultEvent &ev = events[nextEvent++];
+        if (ev.kind == FaultEvent::Kind::LinkDown) {
+            if (net.failLink(ev.a, ev.b))
+                ++statDowns;
+            else
+                ++statSkipped;
+        } else {
+            if (net.repairLink(ev.a, ev.b))
+                ++statUps;
+            else
+                ++statSkipped;
+        }
+    }
+}
+
+void
+FaultInjector::registerStats(StatsRegistry &reg,
+                             const std::string &prefix)
+{
+    reg.addCounter(prefix + "link_downs", &statDowns);
+    reg.addCounter(prefix + "link_ups", &statUps);
+    reg.addCounter(prefix + "events_skipped", &statSkipped);
+    reg.addCounter(prefix + "flits_corrupted", &statCorrupted);
+    reg.addCounter(prefix + "probe_msgs_dropped", &statDropped);
+}
+
+} // namespace mmr

@@ -1,0 +1,166 @@
+#include "fault/recovery.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/simclock.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
+
+namespace mmr
+{
+
+RecoveryManager::RecoveryManager(Network &net_, RecoveryConfig cfg_,
+                                 std::uint64_t seed)
+    : net(net_), cfg(cfg_), rng(seed ^ 0x8ecf0e11ab1e5eedULL)
+{
+    if (!cfg.enabled)
+        return;
+    if (cfg.setupTimeoutCycles != 0)
+        net.probes().setSetupTimeout(cfg.setupTimeoutCycles);
+    net.setConnectionFailureHook(
+        [this](ConnId id, NodeId src, NodeId dst, TrafficClass klass) {
+            onFailure(id, src, dst, klass, simclock::now());
+        });
+}
+
+RecoveryManager::~RecoveryManager()
+{
+    if (cfg.enabled)
+        net.setConnectionFailureHook(nullptr);
+}
+
+void
+RecoveryManager::adopt(ConnId id, const RecoverySpec &spec)
+{
+    mmr_assert(id != kInvalidConn, "cannot adopt an invalid connection");
+    mmr_assert(spec.klass == TrafficClass::CBR ||
+                   spec.klass == TrafficClass::VBR,
+               "recovery adopts CBR/VBR connections only");
+    specs[id] = spec;
+}
+
+void
+RecoveryManager::forget(ConnId id)
+{
+    specs.erase(id);
+}
+
+const RecoveryStatus *
+RecoveryManager::status(ConnId failed_id) const
+{
+    const auto it = results.find(failed_id);
+    return it == results.end() ? nullptr : &it->second;
+}
+
+void
+RecoveryManager::onFailure(ConnId id, NodeId, NodeId, TrafficClass,
+                           Cycle now)
+{
+    const auto it = specs.find(id);
+    if (it == specs.end())
+        return; // not adopted: fails like the pre-recovery network
+    ++statFailures;
+    Attempt a;
+    a.origId = id;
+    a.spec = it->second;
+    a.nextTryAt = now + backoffFor(1);
+    specs.erase(it); // the failed id is dead; replacement re-adopted
+    results[id] = RecoveryStatus{};
+    active.push_back(a);
+    MMR_TRACE_INSTANT(TraceCat::Fault, "recovery_start", now,
+                      a.spec.src, id,
+                      static_cast<std::int32_t>(a.spec.dst));
+}
+
+Cycle
+RecoveryManager::backoffFor(unsigned attempt)
+{
+    mmr_assert(attempt >= 1, "backoff is for launch numbers >= 1");
+    const unsigned shift = std::min(attempt - 1, 32u);
+    Cycle delay = cfg.baseBackoffCycles << shift;
+    if (delay > cfg.maxBackoffCycles || delay < cfg.baseBackoffCycles)
+        delay = cfg.maxBackoffCycles; // cap (also catches overflow)
+    if (cfg.jitter > 0.0) {
+        const double f =
+            1.0 + cfg.jitter * (rng.uniform() * 2.0 - 1.0);
+        delay = static_cast<Cycle>(static_cast<double>(delay) * f);
+    }
+    return std::max<Cycle>(delay, 1);
+}
+
+void
+RecoveryManager::evaluate(Cycle now)
+{
+    for (std::size_t i = 0; i < active.size();) {
+        Attempt &a = active[i];
+        if (a.haveToken) {
+            const Network::TimedOutcome *r = net.timedResult(a.token);
+            if (!r) {
+                ++i; // probe still in flight
+                continue;
+            }
+            a.haveToken = false;
+            if (r->accepted) {
+                RecoveryStatus &st = results[a.origId];
+                st.state = RecoveryState::Recovered;
+                st.replacement = r->id;
+                st.attempts = a.attempt;
+                ++statRecovered;
+                // Keep the replacement covered against later faults.
+                specs[r->id] = a.spec;
+                MMR_TRACE_INSTANT(TraceCat::Fault, "recovery_rerouted",
+                                  now, a.spec.src, a.origId,
+                                  static_cast<std::int32_t>(r->id));
+                active.erase(active.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+                continue;
+            }
+            if (a.attempt >= cfg.maxRetries) {
+                RecoveryStatus &st = results[a.origId];
+                st.state = RecoveryState::Abandoned;
+                st.attempts = a.attempt;
+                ++statAbandoned;
+                MMR_TRACE_INSTANT(TraceCat::Fault,
+                                  "recovery_abandoned", now,
+                                  a.spec.src, a.origId,
+                                  static_cast<std::int32_t>(a.attempt));
+                active.erase(active.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+                continue;
+            }
+            a.nextTryAt = now + backoffFor(a.attempt + 1);
+        } else if (now >= a.nextTryAt) {
+            ++a.attempt;
+            ++statRetries;
+            const RecoverySpec &s = a.spec;
+            a.token =
+                s.klass == TrafficClass::CBR
+                    ? net.openCbrTimed(s.src, s.dst, s.rateOrMeanBps,
+                                       now, cfg.policy)
+                    : net.openVbrTimed(s.src, s.dst, s.rateOrMeanBps,
+                                       s.peakBps, s.priority, now,
+                                       cfg.policy);
+            a.haveToken = true;
+            MMR_TRACE_INSTANT(TraceCat::Fault, "recovery_retry", now,
+                              s.src, a.origId,
+                              static_cast<std::int32_t>(a.attempt));
+        }
+        ++i;
+    }
+}
+
+void
+RecoveryManager::registerStats(StatsRegistry &reg,
+                               const std::string &prefix)
+{
+    reg.addCounter(prefix + "failures", &statFailures);
+    reg.addCounter(prefix + "retries", &statRetries);
+    reg.addCounter(prefix + "recovered", &statRecovered);
+    reg.addCounter(prefix + "abandoned", &statAbandoned);
+    reg.addGauge(prefix + "active", [this] {
+        return static_cast<double>(active.size());
+    });
+}
+
+} // namespace mmr

@@ -1,0 +1,267 @@
+#include "harness/network_experiment.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "base/logging.hh"
+#include "fault/injector.hh"
+#include "network/interface.hh"
+#include "sim/invariant.hh"
+#include "sim/kernel.hh"
+
+namespace mmr
+{
+
+namespace
+{
+
+/** Deterministic stream destination: host @p n's @p k-th stream. */
+NodeId
+dstFor(NodeId n, unsigned k, unsigned nodes)
+{
+    NodeId d = (n + 1 + 2 * k) % nodes;
+    if (d == n)
+        d = (d + 1) % nodes;
+    return d;
+}
+
+/** FNV-1a over raw field bytes (same shape as the single-router
+ * digest: order-sensitive, canonicalized doubles). */
+class Fnv1a
+{
+  public:
+    void
+    addU64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= (v >> (8 * i)) & 0xff;
+            hash *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    addDouble(double v)
+    {
+        if (v == 0.0)
+            v = 0.0; // merge -0.0 and 0.0 bit patterns
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        addU64(bits);
+    }
+
+    std::uint64_t value() const { return hash; }
+
+  private:
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+};
+
+} // namespace
+
+Topology
+topologyFromSpec(const std::string &spec, std::uint64_t seed)
+{
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos)
+        mmr_fatal("topology spec '", spec, "' lacks ':' (try mesh:4x4)");
+    const std::string kind = spec.substr(0, colon);
+    const std::string args = spec.substr(colon + 1);
+
+    auto parse_uint = [&](const std::string &s) -> unsigned {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+        if (end == s.c_str() || *end != '\0' || v == 0)
+            mmr_fatal("bad number '", s, "' in topology spec '", spec,
+                      "'");
+        return static_cast<unsigned>(v);
+    };
+
+    if (kind == "mesh" || kind == "torus") {
+        const auto x = args.find('x');
+        if (x == std::string::npos)
+            mmr_fatal("'", kind, "' spec needs WxH: '", spec, "'");
+        const unsigned w = parse_uint(args.substr(0, x));
+        const unsigned h = parse_uint(args.substr(x + 1));
+        return kind == "mesh" ? Topology::mesh2d(w, h)
+                              : Topology::torus2d(w, h);
+    }
+    if (kind == "ring")
+        return Topology::ring(parse_uint(args));
+    if (kind == "star")
+        return Topology::star(parse_uint(args));
+    if (kind == "irregular") {
+        const auto c1 = args.find(':');
+        const auto c2 =
+            c1 == std::string::npos ? c1 : args.find(':', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos)
+            mmr_fatal("'irregular' spec needs N:EXTRA:MAXDEG: '", spec,
+                      "'");
+        const unsigned n = parse_uint(args.substr(0, c1));
+        const unsigned extra =
+            parse_uint(args.substr(c1 + 1, c2 - c1 - 1));
+        const unsigned maxdeg = parse_uint(args.substr(c2 + 1));
+        Rng trng(seed ^ 0x7090109fca17e5ULL);
+        return Topology::irregular(n, extra, maxdeg, trng);
+    }
+    mmr_fatal("unknown topology kind '", kind, "' in '", spec,
+              "' (mesh/torus/ring/star/irregular)");
+}
+
+NetworkExperimentResult
+runNetworkExperiment(const NetworkExperimentConfig &cfg)
+{
+    Topology topo = topologyFromSpec(cfg.topologySpec, cfg.seed);
+    const unsigned nodes = topo.numNodes();
+
+    NetworkConfig ncfg = cfg.net;
+    ncfg.seed = cfg.seed;
+    Network net(std::move(topo), ncfg);
+
+    // The fault plan spans the loaded portion of the run by default.
+    FaultModel model = cfg.faults;
+    if (model.horizon == 0)
+        model.horizon = cfg.warmupCycles + cfg.measureCycles;
+    FaultPlan plan;
+    if (!cfg.faultEvents.empty()) {
+        plan = FaultPlan::fromEvents(cfg.faultEvents, net.topology());
+        plan.setModel(model);
+    } else {
+        plan = FaultPlan::random(net.topology(), model,
+                                 cfg.seed ^ 0xfa17a11edfa57ULL);
+    }
+
+    FaultInjector injector(net, std::move(plan), cfg.seed + 101);
+    RecoveryManager recovery(net, cfg.recovery, cfg.seed + 202);
+    InvariantChecker checker;
+    net.registerInvariants(checker, cfg.invariantPeriod);
+
+    Kernel kernel;
+    kernel.registerInvariants(checker);
+    kernel.add(&injector, "fault-injector");
+    kernel.add(&recovery, "recovery-manager");
+    kernel.add(&net, "network");
+    kernel.add(&checker, "invariants");
+
+    NetworkExperimentResult r;
+    r.nodes = nodes;
+
+    std::vector<std::unique_ptr<NetworkInterface>> hosts;
+    hosts.reserve(nodes);
+    for (NodeId n = 0; n < nodes; ++n) {
+        hosts.push_back(
+            std::make_unique<NetworkInterface>(net, n, cfg.seed + n));
+        if (cfg.recovery.enabled)
+            hosts.back()->attachRecovery(&recovery);
+        for (unsigned k = 0; k < cfg.cbrStreamsPerHost; ++k) {
+            ++r.streamsRequested;
+            if (hosts.back()->openCbrStream(dstFor(n, k, nodes),
+                                            cfg.cbrRateBps))
+                ++r.streamsAccepted;
+        }
+        for (unsigned k = 0; k < cfg.beFlowsPerHost; ++k)
+            hosts.back()->addBestEffortFlow(dstFor(n, k + 1, nodes),
+                                            cfg.beRateBps);
+    }
+
+    auto run_for = [&](Cycle cycles) {
+        for (Cycle c = 0; c < cycles; ++c) {
+            for (auto &h : hosts)
+                h->tick(kernel.now());
+            kernel.step();
+        }
+    };
+
+    run_for(cfg.warmupCycles);
+    net.endToEnd().startMeasurement(kernel.now());
+    run_for(cfg.measureCycles);
+    run_for(cfg.drainCycles);
+
+    r.cycles = kernel.now();
+    r.acceptance =
+        r.streamsRequested
+            ? static_cast<double>(r.streamsAccepted) /
+                  static_cast<double>(r.streamsRequested)
+            : 0.0;
+
+    const MetricsRecorder &e2e = net.endToEnd();
+    r.meanDelayCycles = e2e.meanDelayCycles();
+    r.meanJitterCycles = e2e.meanJitterCycles();
+    r.p99DelayCycles = e2e.delayPercentile(0.99);
+
+    for (auto &h : hosts) {
+        r.streamsAlive += h->establishedStreams();
+        r.injectedFlits += h->injectedFlits();
+        r.droppedInRecovery += h->flitsDroppedInRecovery();
+        r.backloggedAtEnd += h->backloggedFlits();
+        for (ConnId id : h->connections()) {
+            const ConnectionRecorder *c = e2e.connection(id);
+            if (c && c->delay().count() > 0)
+                r.maxAliveConnMeanDelay =
+                    std::max(r.maxAliveConnMeanDelay, c->delay().mean());
+        }
+    }
+    r.aliveFraction =
+        r.streamsAccepted
+            ? static_cast<double>(r.streamsAlive) /
+                  static_cast<double>(r.streamsAccepted)
+            : 0.0;
+
+    r.flitsDelivered = net.flitsDelivered();
+    r.flitsLost = net.flitsLostToFailures();
+    r.flitsCorrupted = net.flitsCorrupted();
+    r.datagramsSent = net.datagramsSent();
+    r.datagramsDelivered = net.datagramsDelivered();
+    r.datagramsLost = net.datagramsLost();
+    r.datagramDrops = net.datagramDrops();
+
+    r.linkDowns = injector.linkDownsApplied();
+    r.linkUps = injector.linkUpsApplied();
+    r.connectionsFailed = net.connectionsFailed();
+    r.recoveryRetries = recovery.retriesLaunched();
+    r.connectionsRecovered = recovery.connectionsRecovered();
+    r.connectionsAbandoned = recovery.connectionsAbandoned();
+    r.probeTimeouts = net.probes().setupTimeouts();
+    r.probeMessagesLost = net.probes().messagesLost();
+    r.invariantChecks = checker.checksRun();
+    return r;
+}
+
+std::uint64_t
+networkResultDigest(const NetworkExperimentResult &r)
+{
+    Fnv1a h;
+    h.addU64(r.nodes);
+    h.addU64(r.streamsRequested);
+    h.addU64(r.streamsAccepted);
+    h.addU64(r.streamsAlive);
+    h.addDouble(r.acceptance);
+    h.addDouble(r.aliveFraction);
+    h.addDouble(r.meanDelayCycles);
+    h.addDouble(r.meanJitterCycles);
+    h.addDouble(r.p99DelayCycles);
+    h.addDouble(r.maxAliveConnMeanDelay);
+    h.addU64(r.flitsDelivered);
+    h.addU64(r.flitsLost);
+    h.addU64(r.flitsCorrupted);
+    h.addU64(r.injectedFlits);
+    h.addU64(r.droppedInRecovery);
+    h.addU64(r.backloggedAtEnd);
+    h.addU64(r.datagramsSent);
+    h.addU64(r.datagramsDelivered);
+    h.addU64(r.datagramsLost);
+    h.addU64(r.datagramDrops);
+    h.addU64(r.linkDowns);
+    h.addU64(r.linkUps);
+    h.addU64(r.connectionsFailed);
+    h.addU64(r.recoveryRetries);
+    h.addU64(r.connectionsRecovered);
+    h.addU64(r.connectionsAbandoned);
+    h.addU64(r.probeTimeouts);
+    h.addU64(r.probeMessagesLost);
+    h.addU64(r.cycles);
+    return h.value();
+}
+
+} // namespace mmr

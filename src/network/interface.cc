@@ -1,6 +1,7 @@
 #include "network/interface.hh"
 
 #include "base/logging.hh"
+#include "fault/recovery.hh"
 
 namespace mmr
 {
@@ -31,6 +32,7 @@ NetworkInterface::openCbrStream(NodeId dst, double rate_bps,
     s.source = std::make_unique<CbrSource>(
         rate_bps, net.routerAt(host).config().linkRateBps, rng);
     streams.push_back(std::move(s));
+    adoptStream(streams.back());
     return true;
 }
 
@@ -57,6 +59,7 @@ NetworkInterface::openVbrStream(NodeId dst, const VbrProfile &profile,
     s.source = std::make_unique<VbrSource>(profile, rc.linkRateBps,
                                            rc.flitBits, rng);
     streams.push_back(std::move(s));
+    adoptStream(streams.back());
     return true;
 }
 
@@ -99,7 +102,65 @@ NetworkInterface::openTraceStream(NodeId dst,
     s.priority = priority;
     s.source = std::move(source);
     streams.push_back(std::move(s));
+    adoptStream(streams.back());
     return true;
+}
+
+void
+NetworkInterface::attachRecovery(RecoveryManager *mgr)
+{
+    recovery = mgr;
+    if (!recovery)
+        return;
+    for (const Stream &s : streams)
+        adoptStream(s);
+}
+
+void
+NetworkInterface::adoptStream(const Stream &s)
+{
+    if (!recovery)
+        return;
+    RecoverySpec spec;
+    spec.src = host;
+    spec.dst = s.dst;
+    if (s.isVbr) {
+        spec.klass = TrafficClass::VBR;
+        spec.rateOrMeanBps = s.profile.meanRateBps;
+        spec.peakBps = s.profile.meanRateBps * s.profile.peakToMean;
+        spec.priority = s.priority;
+    } else {
+        spec.klass = TrafficClass::CBR;
+        spec.rateOrMeanBps = s.rateBps;
+    }
+    recovery->adopt(s.conn, spec);
+}
+
+bool
+NetworkInterface::pollRecovery(Stream &s)
+{
+    if (!s.recovering) {
+        // First sight of the failure: the dead path's backlog is
+        // abandoned (those flits are counted by the network as lost).
+        ++lost;
+        s.backlog.clear();
+        s.recovering = true;
+    }
+    const RecoveryStatus *st = recovery->status(s.conn);
+    if (!st)
+        return false; // failed while unadopted: retire
+    switch (st->state) {
+      case RecoveryState::Recovering:
+        return true; // keep waiting; tick() drops arrivals meanwhile
+      case RecoveryState::Recovered:
+        s.conn = st->replacement;
+        s.recovering = false;
+        ++reestablished;
+        return true;
+      case RecoveryState::Abandoned:
+        return false;
+    }
+    return false;
 }
 
 bool
@@ -144,12 +205,15 @@ NetworkInterface::tick(Cycle now)
     // Streams whose connection died (link failure) are recovered or
     // retired before any injection work.
     for (std::size_t i = 0; i < streams.size();) {
-        if (net.connectionState(streams[i].conn) ==
-            Network::ConnState::Open) {
+        Stream &s = streams[i];
+        if (!s.recovering &&
+            net.connectionState(s.conn) == Network::ConnState::Open) {
             ++i;
             continue;
         }
-        if (recoverStream(streams[i])) {
+        const bool survives =
+            recovery ? pollRecovery(s) : recoverStream(s);
+        if (survives) {
             ++i;
         } else {
             streams.erase(streams.begin() +
@@ -158,6 +222,14 @@ NetworkInterface::tick(Cycle now)
     }
 
     for (Stream &s : streams) {
+        if (s.recovering) {
+            // Graceful degradation while the RecoveryManager searches
+            // for a replacement path: the source keeps producing (so
+            // its random stream stays aligned) but nothing can be
+            // injected; the discards are accounted, never wedged.
+            droppedInRecovery += s.source->arrivals(now);
+            continue;
+        }
         // Drain the back-pressure backlog first, preserving order.
         while (!s.backlog.empty()) {
             Flit f = s.backlog.front();

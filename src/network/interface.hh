@@ -29,6 +29,8 @@
 namespace mmr
 {
 
+class RecoveryManager;
+
 class NetworkInterface
 {
   public:
@@ -67,8 +69,26 @@ class NetworkInterface
      */
     void setAutoReestablish(bool on) { autoReestablish = on; }
 
+    /**
+     * Delegate failure handling to a RecoveryManager (fault/
+     * recovery.hh) instead of the synchronous auto-reestablish above:
+     * every stream opened (and any already open) is adopted, and when
+     * one fails the interface waits on the manager's timed,
+     * backoff-scheduled re-setup — dropping the source's arrivals with
+     * accounting while recovery is in progress, resuming on the
+     * replacement connection, and retiring the stream if recovery is
+     * abandoned.  Pass nullptr to detach.
+     */
+    void attachRecovery(RecoveryManager *mgr);
+
     unsigned lostStreams() const { return lost; }
     unsigned reestablishedStreams() const { return reestablished; }
+
+    /** Source flits discarded while their stream awaited recovery. */
+    std::uint64_t flitsDroppedInRecovery() const
+    {
+        return droppedInRecovery;
+    }
 
     NodeId node() const { return host; }
     unsigned establishedStreams() const
@@ -94,10 +114,22 @@ class NetworkInterface
         std::unique_ptr<TrafficSource> source;
         std::deque<Flit> backlog; ///< flits refused by the router
         std::uint32_t seq = 0;
+        /** Waiting on the RecoveryManager for a replacement path. */
+        bool recovering = false;
     };
 
     /** Handle a stream whose connection failed; true when replaced. */
     bool recoverStream(Stream &s);
+
+    /** Register a stream with the attached RecoveryManager. */
+    void adoptStream(const Stream &s);
+
+    /**
+     * Managed-recovery health step for one failed stream: consume the
+     * manager's status and return true when the stream survives (still
+     * recovering, or swapped onto its replacement connection).
+     */
+    bool pollRecovery(Stream &s);
 
     struct BeFlow
     {
@@ -116,7 +148,9 @@ class NetworkInterface
     unsigned lost = 0;
     unsigned reestablished = 0;
     bool autoReestablish = false;
+    RecoveryManager *recovery = nullptr;
     std::uint64_t injected = 0;
+    std::uint64_t droppedInRecovery = 0;
     ConnId nextBeFlow;
 };
 

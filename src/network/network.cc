@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "base/simclock.hh"
 #include "obs/trace.hh"
+#include "sim/invariant.hh"
 #include "traffic/rates.hh"
 
 namespace mmr
@@ -89,6 +90,8 @@ Network::failLink(NodeId a, NodeId b)
             continue;
         }
         ++statLostFlits;
+        if (!lf.flit.isStream())
+            ++statDatagramsLost;
         const NodeId upstream = lf.toNode == b ? a : b;
         const PortId up_port = lf.toNode == b ? pa : pb;
         routers[upstream]->credits().replenish(up_port, lf.vc);
@@ -109,11 +112,18 @@ Network::failLink(NodeId a, NodeId b)
                 conn.failed = true;
                 conn.closing = true;
                 ++statConnsFailed;
+                MMR_TRACE_INSTANT(TraceCat::Fault, "conn_failed",
+                                  simclock::now(), conn.src, id,
+                                  static_cast<std::int32_t>(conn.dst));
+                if (connFailHook)
+                    connFailHook(id, conn.src, conn.dst, conn.klass);
                 break;
             }
         }
     }
 
+    MMR_TRACE_INSTANT(TraceCat::Fault, "link_down", simclock::now(), a,
+                      kInvalidConn, static_cast<std::int32_t>(b));
     rebuildRouting();
     return true;
 }
@@ -127,6 +137,8 @@ Network::repairLink(NodeId a, NodeId b)
         return false;
     linkDown[a][pa] = false;
     linkDown[b][pb] = false;
+    MMR_TRACE_INSTANT(TraceCat::Fault, "link_up", simclock::now(), a,
+                      kInvalidConn, static_cast<std::int32_t>(b));
     rebuildRouting();
     return true;
 }
@@ -193,6 +205,8 @@ Network::handleEgress(NodeId n, PortId out, VcId out_vc, const Flit &f,
         // datagrams — release the link VC the packet was holding,
         // since no downstream segment will ever do it.
         ++statLostFlits;
+        if (!f.isStream())
+            ++statDatagramsLost;
         if (out_vc != kInvalidVc) {
             routers[n]->credits().replenish(out, out_vc);
             if (!f.isStream())
@@ -203,8 +217,13 @@ Network::handleEgress(NodeId n, PortId out, VcId out_vc, const Flit &f,
     const auto &ports = topo.ports(n);
     mmr_assert(out < ports.size(), "egress on unknown port");
     const auto &link = ports[out];
-    linkQueue.push_back(LinkFlit{link.neighbor, link.remotePort, out_vc,
-                                 f, now + cfg.linkLatency});
+    LinkFlit lf{link.neighbor, link.remotePort, out_vc, f,
+                now + cfg.linkLatency};
+    // Fault injection: damage the payload on the wire.  The flit still
+    // occupies the link; the downstream CRC check discards it.
+    if (corruptHook && corruptHook(n, out, f))
+        lf.flit.corrupted = true;
+    linkQueue.push_back(std::move(lf));
 }
 
 void
@@ -754,6 +773,24 @@ Network::processArrivals(Cycle now)
             later.push_back(std::move(lf));
             continue;
         }
+        // CRC check at the input: a flit corrupted on the wire is
+        // discarded with accounting.  The upstream credit returns so
+        // the VC is not wedged; a datagram additionally releases the
+        // link VC it was holding (no downstream segment ever will).
+        if (lf.flit.corrupted) {
+            ++statFlitsCorrupted;
+            if (!lf.flit.isStream())
+                ++statDatagramsLost;
+            const NodeId upstream = topo.neighborAt(lf.toNode, lf.toPort);
+            const PortId up_port = topo.portTowards(upstream, lf.toNode);
+            routers[upstream]->credits().replenish(up_port, lf.vc);
+            if (!lf.flit.isStream())
+                routers[upstream]->routing().freeOutputVc(up_port, lf.vc);
+            MMR_TRACE_INSTANT(TraceCat::Fault, "crc_drop", now,
+                              lf.toNode, lf.flit.conn,
+                              static_cast<std::int32_t>(lf.flit.src));
+            continue;
+        }
         Flit f = lf.flit;
         f.readyTime = now;
         if (f.isStream()) {
@@ -803,6 +840,63 @@ Network::advance(Cycle now)
 }
 
 // ---------------------------------------------------------------------
+// Invariant auditing
+// ---------------------------------------------------------------------
+
+void
+Network::registerInvariants(InvariantChecker &chk, unsigned sweep_period)
+{
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        routers[n]->registerInvariants(
+            chk, sweep_period, "router" + std::to_string(n) + ".",
+            [this, n](std::vector<unsigned> &alloc,
+                      std::vector<unsigned> &peak) {
+                probeMgr->accountReservations(n, alloc, peak);
+            });
+    }
+
+    // Both directions of a link agree on its health — the fault
+    // model's own bookkeeping is self-consistent.
+    chk.add(
+        "net-link-symmetry",
+        [this](Cycle) {
+            for (NodeId n = 0; n < topo.numNodes(); ++n) {
+                for (const auto &port : topo.ports(n)) {
+                    const bool here = linkDown[n][port.localPort];
+                    const bool there =
+                        linkDown[port.neighbor][port.remotePort];
+                    if (here != there) {
+                        mmr_invariant_violated(
+                            "net-link-symmetry", "link ", n, "<->",
+                            port.neighbor,
+                            " is down in one direction only");
+                    }
+                }
+            }
+        },
+        sweep_period);
+
+    // Every open PCS connection still has its segment installed in
+    // every router along its path — teardown never leaves a
+    // half-removed path behind.
+    chk.add(
+        "net-pcs-segments",
+        [this](Cycle) {
+            for (const auto &[id, conn] : pcs) {
+                for (const ReservedHop &hop : conn.hops) {
+                    if (routers[hop.node]->connection(id) == nullptr) {
+                        mmr_invariant_violated(
+                            "net-pcs-segments", "connection ", id,
+                            " (", conn.src, "->", conn.dst,
+                            ") has no segment at node ", hop.node);
+                    }
+                }
+            }
+        },
+        sweep_period);
+}
+
+// ---------------------------------------------------------------------
 // Observability
 // ---------------------------------------------------------------------
 
@@ -811,6 +905,8 @@ Network::registerStats(StatsRegistry &reg, MmrRouter::StatsDetail detail)
 {
     reg.addCounter("net.flits.delivered", &statDelivered);
     reg.addCounter("net.flits.lost", &statLostFlits);
+    reg.addCounter("net.flits.corrupted", &statFlitsCorrupted);
+    reg.addCounter("net.datagrams.lost", &statDatagramsLost);
     reg.addCounter("net.inject_rejects", &statInjectRejects);
     reg.addCounter("net.datagrams.sent", &statDatagramsSent);
     reg.addCounter("net.datagrams.delivered", &statDatagramsDone);

@@ -21,6 +21,7 @@
 #define MMR_NETWORK_NETWORK_HH
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -173,6 +174,51 @@ class Network : public Clocked
 
     std::uint64_t flitsLostToFailures() const { return statLostFlits; }
     std::uint64_t connectionsFailed() const { return statConnsFailed; }
+    std::uint64_t flitsCorrupted() const { return statFlitsCorrupted; }
+    std::uint64_t datagramsLost() const { return statDatagramsLost; }
+
+    /**
+     * Invoked whenever a link failure marks a connection failed, with
+     * (id, src, dst, class) — the subscription point for recovery
+     * machinery (fault/recovery.hh) that re-routes affected
+     * connections.  Called from inside failLink().
+     */
+    using ConnectionFailureFn =
+        std::function<void(ConnId, NodeId, NodeId, TrafficClass)>;
+    void setConnectionFailureHook(ConnectionFailureFn fn)
+    {
+        connFailHook = std::move(fn);
+    }
+
+    /**
+     * Fault-injection filter consulted once per flit entering an
+     * inter-router link (never the NI): return true to corrupt the
+     * flit on the wire.  The downstream router's CRC check discards
+     * corrupted flits on arrival, returning the upstream credit (and,
+     * for datagrams, the link VC) so nothing wedges.
+     */
+    using LinkCorruptFn =
+        std::function<bool(NodeId, PortId, const Flit &)>;
+    void setLinkCorruptHook(LinkCorruptFn fn)
+    {
+        corruptHook = std::move(fn);
+    }
+
+    /** The timed-setup protocol driver (setup timeout, message-loss
+     * fault hooks, probe-held reservation accounting). */
+    ProbeSetupManager &probes() { return *probeMgr; }
+    const ProbeSetupManager &probes() const { return *probeMgr; }
+
+    /**
+     * Register the full invariant battery over this network into
+     * @p chk: every router's seven invariants under a "router<N>."
+     * prefix — with the admission-ledger audit extended by the
+     * bandwidth in-flight setup probes hold — plus the network-level
+     * link-state symmetry and PCS segment-consistency checks.  The
+     * checker must tick after the network.
+     */
+    void registerInvariants(InvariantChecker &chk,
+                            unsigned sweep_period = 16);
 
     // ------------------------------------------------------------------
     // Datagram traffic (VCT)
@@ -311,9 +357,14 @@ class Network : public Clocked
     /** linkDown[n][port] true when the link out of port has failed. */
     std::vector<std::vector<bool>> linkDown;
 
+    ConnectionFailureFn connFailHook;
+    LinkCorruptFn corruptHook;
+
     MetricsRecorder e2e;
     std::uint64_t statLostFlits = 0;
     std::uint64_t statConnsFailed = 0;
+    std::uint64_t statFlitsCorrupted = 0;
+    std::uint64_t statDatagramsLost = 0;
     std::uint64_t statDelivered = 0;
     std::uint64_t statDatagramsSent = 0;
     std::uint64_t statDatagramsDone = 0;

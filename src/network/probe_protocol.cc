@@ -107,9 +107,46 @@ ProbeSetupManager::begin(const SetupRequest &req, SetupPolicy policy,
     p.setup.startedAt = now;
     p.at = req.src;
     p.nextAction = now; // first hop attempt happens this cycle
+    p.deadline = timeoutCycles ? now + timeoutCycles : 0;
     p.distToDst = survivingDistances(topo, req.dst, linkAlive);
     probes.push_back(std::move(p));
     return probes.back().setup.token;
+}
+
+void
+ProbeSetupManager::timeoutProbe(Probe &p, Cycle now)
+{
+    TimedSetup &s = p.setup;
+    for (auto it = s.hops.rbegin(); it != s.hops.rend(); ++it)
+        releaseHop(routerAt(it->node), *it, s.request);
+    s.hops.clear();
+    s.state = SetupState::Refused;
+    s.timedOut = true;
+    s.finishedAt = now;
+    ++statTimeouts;
+    onComplete(s);
+}
+
+void
+ProbeSetupManager::accountReservations(NodeId n,
+                                       std::vector<unsigned> &alloc,
+                                       std::vector<unsigned> &peak) const
+{
+    for (const Probe &p : probes) {
+        const SetupRequest &req = p.setup.request;
+        for (const ReservedHop &hop : p.setup.hops) {
+            if (hop.node != n)
+                continue;
+            mmr_assert(hop.out < alloc.size() && hop.out < peak.size(),
+                       "reservation accounting vectors too small");
+            if (req.klass == TrafficClass::CBR) {
+                alloc[hop.out] += req.allocCycles;
+            } else {
+                alloc[hop.out] += req.permCycles;
+                peak[hop.out] += req.peakCycles;
+            }
+        }
+    }
 }
 
 bool
@@ -117,6 +154,18 @@ ProbeSetupManager::advanceProbe(Probe &p, Cycle now)
 {
     TimedSetup &s = p.setup;
     const SetupRequest &req = s.request;
+
+    // Fault injection: this action's message (probe hop, backtrack or
+    // ack hop) is lost on the wire.  The probe goes inert; its hop
+    // reservations stay held until the source timer reclaims them.
+    if (messageLoss && messageLoss(s)) {
+        mmr_assert(p.deadline != 0,
+                   "message loss requires a setup timeout, or lost "
+                   "probes would strand reservations forever");
+        p.lost = true;
+        ++statMessagesLost;
+        return false;
+    }
 
     if (s.state == SetupState::Returning) {
         // The acknowledgment retraces the path toward the source via
@@ -199,7 +248,16 @@ ProbeSetupManager::step(Cycle now)
 {
     for (std::size_t i = 0; i < probes.size();) {
         Probe &p = probes[i];
-        if (p.nextAction > now) {
+        // The source timer reclaims overdue setups (lost messages or
+        // simply a search that ran too long) before any further
+        // protocol action.
+        if (p.deadline != 0 && now >= p.deadline) {
+            timeoutProbe(p, now);
+            probes.erase(probes.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            continue;
+        }
+        if (p.lost || p.nextAction > now) {
             ++i;
             continue;
         }

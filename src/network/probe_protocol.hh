@@ -59,6 +59,10 @@ struct TimedSetup
     unsigned backtrackSteps = 0;
     Cycle startedAt = 0;
     Cycle finishedAt = 0; ///< valid once Established/Refused
+    /** Refused because the source's setup timer expired (the probe or
+     * its ack was lost, or establishment simply took too long), not
+     * because the search was exhausted. */
+    bool timedOut = false;
 };
 
 /**
@@ -78,6 +82,9 @@ class ProbeSetupManager
     /** Whether the directed link from @p node through @p port is
      * usable (false once failed). */
     using LinkAlive = std::function<bool(NodeId, PortId)>;
+    /** Fault-injection filter: return true to lose the setup's next
+     * protocol message (probe, backtrack or ack hop) on the wire. */
+    using MessageLoss = std::function<bool(const TimedSetup &)>;
 
     ProbeSetupManager(const Topology &topo, RouterAccess router_at,
                       NiPortOf ni_port_of, CompletionFn on_complete,
@@ -88,6 +95,35 @@ class ProbeSetupManager
 
     /** Optional link-health filter (fault injection). */
     void setLinkAlive(LinkAlive fn) { linkAlive = std::move(fn); }
+
+    /**
+     * Source-side setup timer (§3.4 pushes such decisions to the
+     * interfaces): a setup not Established within @p cycles of its
+     * begin() is refused with timedOut set and every hop reservation
+     * released.  This is the recovery path for lost probes/acks —
+     * without it a dropped message would strand its reservations
+     * forever.  0 disables the timer (only safe with no message loss).
+     */
+    void setSetupTimeout(Cycle cycles) { timeoutCycles = cycles; }
+    Cycle setupTimeout() const { return timeoutCycles; }
+
+    /** Optional fault-injection hook losing protocol messages. */
+    void setMessageLoss(MessageLoss fn) { messageLoss = std::move(fn); }
+
+    /** Probe/backtrack/ack messages lost by the fault hook. */
+    std::uint64_t messagesLost() const { return statMessagesLost; }
+
+    /** Setups refused by the source timer expiring. */
+    std::uint64_t setupTimeouts() const { return statTimeouts; }
+
+    /**
+     * Add the bandwidth held at node @p n by in-flight probes to the
+     * per-output demand vectors (sized to the node's port count).
+     * Lets an admission-ledger audit account for reservations that
+     * are not yet installed segments.
+     */
+    void accountReservations(NodeId n, std::vector<unsigned> &alloc,
+                             std::vector<unsigned> &peak) const;
 
     /**
      * Launch a probe.  Returns a token to correlate with the
@@ -107,6 +143,11 @@ class ProbeSetupManager
         TimedSetup setup;
         NodeId at = kInvalidNode;
         Cycle nextAction = 0;
+        /** Source-timer expiry (0 = no timer). */
+        Cycle deadline = 0;
+        /** The next protocol message was lost; the probe is inert
+         * until the source timer reclaims it. */
+        bool lost = false;
         /** Output links already searched, per visited node (the
          * per-input-VC history store of §3.5, carried with the probe
          * in this synchronous-model implementation). */
@@ -123,14 +164,21 @@ class ProbeSetupManager
      * is finished and must be removed. */
     bool advanceProbe(Probe &p, Cycle now);
 
+    /** Release every reserved hop and complete as Refused/timedOut. */
+    void timeoutProbe(Probe &p, Cycle now);
+
     const Topology &topo;
     RouterAccess routerAt;
     NiPortOf niPortOf;
     CompletionFn onComplete;
     LinkAlive linkAlive; ///< empty = all links healthy
+    MessageLoss messageLoss; ///< empty = lossless control channel
     Rng rng;
     unsigned hopLatency = 2;
+    Cycle timeoutCycles = 0;
     std::uint64_t nextToken = 1;
+    std::uint64_t statMessagesLost = 0;
+    std::uint64_t statTimeouts = 0;
     std::vector<Probe> probes;
 };
 

@@ -26,6 +26,8 @@ to_string(TraceCat c)
         return "setup";
       case TraceCat::Control:
         return "control";
+      case TraceCat::Fault:
+        return "fault";
       default:
         return "?";
     }

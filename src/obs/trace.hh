@@ -47,6 +47,7 @@ enum class TraceCat : std::uint8_t
     Credit,    ///< credit consume/replenish (high volume)
     Setup,     ///< probe/EPB connection establishment phases
     Control,   ///< VCT cut-throughs, control-word application
+    Fault,     ///< link fail/repair, corruption, recovery retries
     NumCats
 };
 

@@ -54,6 +54,10 @@ struct Flit
     std::uint16_t hops = 0;   ///< routers traversed so far
     bool downPhase = false;   ///< up*-down* state for adaptive VCT
 
+    /** Payload damaged on the wire (fault injection); the receiving
+     * router's CRC check discards such flits with accounting. */
+    bool corrupted = false;
+
     bool isControl() const { return klass == TrafficClass::Control; }
     bool isStream() const
     {

@@ -64,9 +64,10 @@ CreditManager::audit(const CensusFn &census) const
 
 void
 CreditManager::registerInvariants(InvariantChecker &chk, CensusFn census,
-                                  unsigned period) const
+                                  unsigned period,
+                                  const std::string &prefix) const
 {
-    chk.add("credit-ledger",
+    chk.add(prefix + "credit-ledger",
             [this, census = std::move(census)](Cycle) { audit(census); },
             period);
 }

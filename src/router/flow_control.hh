@@ -129,10 +129,13 @@ class CreditManager
      */
     void audit(const CensusFn &census = nullptr) const;
 
-    /** Register the 'credit-ledger' invariant with an auditor. */
+    /** Register the 'credit-ledger' invariant with an auditor.  A
+     * non-empty @p prefix namespaces the invariant ("router3.credit-
+     * ledger") so many routers can share one checker. */
     void registerInvariants(InvariantChecker &chk,
                             CensusFn census = nullptr,
-                            unsigned period = 1) const;
+                            unsigned period = 1,
+                            const std::string &prefix = {}) const;
 
   private:
     std::size_t

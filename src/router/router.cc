@@ -636,7 +636,9 @@ MmrRouter::forwardedByClass(TrafficClass c) const
 
 void
 MmrRouter::registerInvariants(InvariantChecker &chk,
-                              unsigned sweep_period)
+                              unsigned sweep_period,
+                              const std::string &prefix,
+                              ExtraDemandFn extra_demand)
 {
     // Flit conservation (§3.1: credit-based flow control "guarantees
     // flits are never dropped").  Every flit that entered a VC memory
@@ -648,7 +650,7 @@ MmrRouter::registerInvariants(InvariantChecker &chk,
     // same stride, so a flit removed behind the router's back is still
     // caught.
     chk.add(
-        "flit-conservation",
+        prefix + "flit-conservation",
         [this](Cycle) {
             std::uint64_t buffered = 0;
             for (const VcMemory &m : inputMems)
@@ -667,7 +669,7 @@ MmrRouter::registerInvariants(InvariantChecker &chk,
 
     // VC memory occupancy bookkeeping matches the FIFO ground truth.
     chk.add(
-        "vc-occupancy",
+        prefix + "vc-occupancy",
         [this](Cycle) {
             for (const VcMemory &m : inputMems)
                 m.auditOccupancy();
@@ -677,7 +679,7 @@ MmrRouter::registerInvariants(InvariantChecker &chk,
     // VC state machine legality: free VCs hold nothing, mapped VCs
     // are bound, pending grants are covered by buffered flits.
     chk.add(
-        "vc-legality",
+        prefix + "vc-legality",
         [this](Cycle) {
             for (const VcMemory &m : inputMems)
                 m.auditLegality();
@@ -688,10 +690,12 @@ MmrRouter::registerInvariants(InvariantChecker &chk,
     // equal the sum over installed segments, and stay within the round
     // minus the best-effort reserve.
     chk.add(
-        "admission-ledger",
-        [this](Cycle) {
+        prefix + "admission-ledger",
+        [this, extra_demand = std::move(extra_demand)](Cycle) {
             std::vector<unsigned> alloc(cfg.numPorts, 0);
             std::vector<unsigned> peak(cfg.numPorts, 0);
+            if (extra_demand)
+                extra_demand(alloc, peak);
             for (const auto &[id, p] : conns) {
                 if (p.klass == TrafficClass::CBR) {
                     alloc[p.out] += p.allocCycles;
@@ -740,13 +744,13 @@ MmrRouter::registerInvariants(InvariantChecker &chk,
 
     // Crossbar matching validity: the matching applied next cycle
     // grants each input and each output at most once (§3.3).
-    chk.add("matching-validity", [this](Cycle) {
+    chk.add(prefix + "matching-validity", [this](Cycle) {
         SwitchScheduler::auditMatching(currentMatching, cfg.numPorts,
                                        sched->allowsOutputSharing());
     });
 
     // Credit conservation (§4.2), internal ledger form.
-    creditMgr.registerInvariants(chk, nullptr, sweep_period);
+    creditMgr.registerInvariants(chk, nullptr, sweep_period, prefix);
 }
 
 // ---------------------------------------------------------------------

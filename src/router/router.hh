@@ -174,9 +174,20 @@ class MmrRouter : public Clocked
      *
      * @param sweep_period stride for the sweeps over all P x V virtual
      *        channels; cheap per-cycle checks always run every cycle
+     * @param prefix namespaces the invariant names ("router3.flit-
+     *        conservation") so many routers can share one checker
+     * @param extra_demand optional hook adding per-output bandwidth
+     *        held outside installed segments (in-flight setup probes)
+     *        to the admission-ledger audit; the vectors arrive sized
+     *        numPorts and zeroed
      */
+    using ExtraDemandFn =
+        std::function<void(std::vector<unsigned> &alloc,
+                           std::vector<unsigned> &peak)>;
     void registerInvariants(InvariantChecker &chk,
-                            unsigned sweep_period = 16);
+                            unsigned sweep_period = 16,
+                            const std::string &prefix = {},
+                            ExtraDemandFn extra_demand = nullptr);
 
     // ------------------------------------------------------------------
     // Observability (obs/ layer)
