@@ -4,13 +4,17 @@
 # mirroring .github/workflows/ci.yml:
 #
 #   1. Release build + full ctest (invariant checkers on)
-#   2. ASan+UBSan build + full ctest
-#   3. clang-tidy over src/        (skipped when not installed)
-#   4. clang-format --dry-run      (skipped when not installed)
+#   2. mmr-lint over src/          (fixture self-test + project rules)
+#   3. ASan+UBSan build + full ctest
+#   4. clang-tidy over src/        (skipped when not installed)
+#   5. clang-format --dry-run      (skipped when not installed)
+#
+# Every build exports build/compile_commands.json (CMake default in
+# this tree); clang-tidy and mmr-lint's libclang backend consume it.
 #
 # Usage:
 #   scripts/run_analysis.sh           # full matrix
-#   scripts/run_analysis.sh --quick   # release build + ctest only
+#   scripts/run_analysis.sh --quick   # release build + ctest + lint
 #   scripts/run_analysis.sh --tsan    # add a ThreadSanitizer pass
 #
 # Exits non-zero on the first failing stage.
@@ -67,12 +71,27 @@ build_and_test() {
 run_stage "release build + ctest (invariants on)" \
     build_and_test build -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
+# ---------------------------------------------------------------- 2.
+# mmr-lint: project-semantic rules (determinism, hot-path allocation,
+# Clocked contracts, Cycle hygiene).  The auto backend upgrades itself
+# to libclang via build/compile_commands.json when available and falls
+# back to the bundled token backend otherwise.
+if command -v python3 >/dev/null 2>&1; then
+    run_stage "mmr-lint fixture self-test" \
+        python3 "$ROOT/tests/lint/run_fixtures.py"
+    run_stage "mmr-lint over src/" \
+        python3 "$ROOT/tools/mmr-lint/mmr_lint.py" --root "$ROOT" \
+        --compile-commands "$ROOT/build/compile_commands.json" src
+else
+    note "python3 not installed -- skipping mmr-lint"
+fi
+
 if [ "$QUICK" -eq 1 ]; then
     [ "$failures" -eq 0 ] && note "quick pass clean"
     exit "$failures"
 fi
 
-# ---------------------------------------------------------------- 2.
+# ---------------------------------------------------------------- 3.
 run_stage "ASan+UBSan build + ctest" \
     build_and_test build-asan "-DMMR_SANITIZE=address;undefined"
 
@@ -81,11 +100,9 @@ if [ "$TSAN" -eq 1 ]; then
         build_and_test build-tsan "-DMMR_SANITIZE=thread"
 fi
 
-# ---------------------------------------------------------------- 3.
+# ---------------------------------------------------------------- 4.
 if command -v clang-tidy >/dev/null 2>&1; then
     note "clang-tidy over src/"
-    cmake -B "$ROOT/build" -S "$ROOT" \
-        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
     if find "$ROOT/src" -name '*.cc' -print0 |
         xargs -0 -n 8 -P "$JOBS" clang-tidy -p "$ROOT/build" --quiet; then
         echo "    [ok] clang-tidy"
@@ -97,7 +114,7 @@ else
     note "clang-tidy not installed -- skipping"
 fi
 
-# ---------------------------------------------------------------- 4.
+# ---------------------------------------------------------------- 5.
 if command -v clang-format >/dev/null 2>&1; then
     note "clang-format --dry-run"
     if find "$ROOT/src" "$ROOT/tests" "$ROOT/bench" "$ROOT/examples" \

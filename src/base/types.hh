@@ -19,6 +19,25 @@ namespace mmr
 /** Simulated time in flit cycles. */
 using Cycle = std::uint64_t;
 
+/**
+ * Marks a function as part of the per-cycle hot path.
+ *
+ * Annotated functions (and everything they call within the project)
+ * must stay heap-free in steady state: mmr-lint's hot-path-alloc rule
+ * walks the transitive call closure from every MMR_HOT_PATH root and
+ * rejects new/malloc and reallocating container operations, and
+ * test_zero_alloc verifies the same property dynamically.  On clang
+ * the annotate attribute makes the marking visible to AST tooling; on
+ * both compilers the hot attribute aids code placement.
+ */
+#if defined(__clang__)
+#define MMR_HOT_PATH __attribute__((hot, annotate("mmr::hot_path")))
+#elif defined(__GNUC__)
+#define MMR_HOT_PATH __attribute__((hot))
+#else
+#define MMR_HOT_PATH
+#endif
+
 /** Physical port index on a router (input or output side). */
 using PortId = std::uint16_t;
 

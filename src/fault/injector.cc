@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "obs/stats_registry.hh"
+#include "sim/invariant.hh"
 
 namespace mmr
 {
@@ -72,6 +73,43 @@ FaultInjector::registerStats(StatsRegistry &reg,
     reg.addCounter(prefix + "events_skipped", &statSkipped);
     reg.addCounter(prefix + "flits_corrupted", &statCorrupted);
     reg.addCounter(prefix + "probe_msgs_dropped", &statDropped);
+}
+
+void
+FaultInjector::registerInvariants(InvariantChecker &chk,
+                                  unsigned period) const
+{
+    chk.add(
+        "fault-event-cursor",
+        [this](Cycle now) {
+            const auto &events = thePlan.events();
+            if (nextEvent > events.size()) {
+                mmr_invariant_violated(
+                    "fault-event-cursor", "cursor ", nextEvent,
+                    " past plan end ", events.size());
+            }
+            // The injector ticks before the checker, so by audit time
+            // every event due at `now` must have been applied.
+            if (nextEvent < events.size() &&
+                events[nextEvent].at <= now) {
+                mmr_invariant_violated(
+                    "fault-event-cursor", "event ", nextEvent,
+                    " due at cycle ", events[nextEvent].at,
+                    " still unapplied at cycle ", now);
+            }
+        },
+        period);
+    chk.add(
+        "fault-event-ledger",
+        [this](Cycle) {
+            if (statDowns + statUps + statSkipped != nextEvent) {
+                mmr_invariant_violated(
+                    "fault-event-ledger", "applied ", statDowns, "+",
+                    statUps, "+", statSkipped,
+                    " events but cursor is at ", nextEvent);
+            }
+        },
+        period);
 }
 
 } // namespace mmr

@@ -25,6 +25,7 @@
 namespace mmr
 {
 
+class InvariantChecker;
 class StatsRegistry;
 
 class FaultInjector : public Clocked
@@ -68,6 +69,15 @@ class FaultInjector : public Clocked
     /** Register fault counters under @p prefix ("fault."). */
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix = "fault.");
+
+    /**
+     * Register the injector's self-checks: the event cursor never
+     * passes the plan's end, every due event has been applied by the
+     * end of its cycle, and the applied/skipped ledger matches the
+     * cursor.  The checker must tick after the injector.
+     */
+    void registerInvariants(InvariantChecker &chk,
+                            unsigned period = 1) const;
 
   private:
     Network &net;

@@ -6,6 +6,7 @@
 #include "base/simclock.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
+#include "sim/invariant.hh"
 
 namespace mmr
 {
@@ -161,6 +162,49 @@ RecoveryManager::registerStats(StatsRegistry &reg,
     reg.addGauge(prefix + "active", [this] {
         return static_cast<double>(active.size());
     });
+}
+
+void
+RecoveryManager::registerInvariants(InvariantChecker &chk,
+                                    unsigned period) const
+{
+    chk.add(
+        "recovery-attempts",
+        [this](Cycle) {
+            for (const Attempt &a : active) {
+                if (a.origId == kInvalidConn) {
+                    mmr_invariant_violated(
+                        "recovery-attempts",
+                        "active attempt with invalid failed id");
+                }
+                if (a.attempt > cfg.maxRetries) {
+                    mmr_invariant_violated(
+                        "recovery-attempts", "conn ", a.origId,
+                        " launched ", a.attempt,
+                        " setups, budget is ", cfg.maxRetries);
+                }
+                const auto it = results.find(a.origId);
+                if (it == results.end() ||
+                    it->second.state != RecoveryState::Recovering) {
+                    mmr_invariant_violated(
+                        "recovery-attempts", "conn ", a.origId,
+                        " active without a Recovering status entry");
+                }
+            }
+        },
+        period);
+    chk.add(
+        "recovery-ledger",
+        [this](Cycle) {
+            if (statRecovered + statAbandoned + active.size() !=
+                statFailures) {
+                mmr_invariant_violated(
+                    "recovery-ledger", "recovered ", statRecovered,
+                    " + abandoned ", statAbandoned, " + active ",
+                    active.size(), " != failures seen ", statFailures);
+            }
+        },
+        period);
 }
 
 } // namespace mmr

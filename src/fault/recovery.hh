@@ -42,6 +42,7 @@
 namespace mmr
 {
 
+class InvariantChecker;
 class StatsRegistry;
 
 struct RecoveryConfig
@@ -149,6 +150,15 @@ class RecoveryManager : public Clocked
     /** Register recovery counters under @p prefix ("recovery."). */
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix = "recovery.");
+
+    /**
+     * Register the recovery ledger self-checks: every active attempt
+     * is well-formed (valid failed id, launch count within the retry
+     * budget, a Recovering status entry), and completed + active
+     * recoveries always account for every failure seen.
+     */
+    void registerInvariants(InvariantChecker &chk,
+                            unsigned period = 1) const;
 
   private:
     struct Attempt

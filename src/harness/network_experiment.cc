@@ -136,6 +136,8 @@ runNetworkExperiment(const NetworkExperimentConfig &cfg)
     RecoveryManager recovery(net, cfg.recovery, cfg.seed + 202);
     InvariantChecker checker;
     net.registerInvariants(checker, cfg.invariantPeriod);
+    injector.registerInvariants(checker, cfg.invariantPeriod);
+    recovery.registerInvariants(checker, cfg.invariantPeriod);
 
     Kernel kernel;
     kernel.registerInvariants(checker);

@@ -101,25 +101,37 @@ Network::failLink(NodeId a, NodeId b)
     linkQueue.swap(keep);
 
     // Mark and start draining every connection whose path crosses the
-    // link, in either direction.
-    for (auto &[id, conn] : pcs) {
+    // link, in either direction.  The ids are snapshotted and sorted
+    // before any side effect: the failure hook draws backoff jitter
+    // from the recovery RNG and appends to its retry queue, so
+    // hash-order iteration would leak the standard library's bucket
+    // layout into the recovery schedule and the result digest.
+    std::vector<ConnId> crossing;
+    // mmr-lint: allow(unordered-iter) order-insensitive: ids are only
+    // collected here and sorted below before anything observes them.
+    for (const auto &[id, conn] : pcs) {
         if (conn.failed)
             continue;
         for (const ReservedHop &hop : conn.hops) {
             const bool crosses = (hop.node == a && hop.out == pa) ||
                                  (hop.node == b && hop.out == pb);
             if (crosses) {
-                conn.failed = true;
-                conn.closing = true;
-                ++statConnsFailed;
-                MMR_TRACE_INSTANT(TraceCat::Fault, "conn_failed",
-                                  simclock::now(), conn.src, id,
-                                  static_cast<std::int32_t>(conn.dst));
-                if (connFailHook)
-                    connFailHook(id, conn.src, conn.dst, conn.klass);
+                crossing.push_back(id);
                 break;
             }
         }
+    }
+    std::sort(crossing.begin(), crossing.end());
+    for (const ConnId id : crossing) {
+        PcsConnection &conn = pcs.find(id)->second;
+        conn.failed = true;
+        conn.closing = true;
+        ++statConnsFailed;
+        MMR_TRACE_INSTANT(TraceCat::Fault, "conn_failed",
+                          simclock::now(), conn.src, id,
+                          static_cast<std::int32_t>(conn.dst));
+        if (connFailHook)
+            connFailHook(id, conn.src, conn.dst, conn.klass);
     }
 
     MMR_TRACE_INSTANT(TraceCat::Fault, "link_down", simclock::now(), a,
@@ -507,12 +519,22 @@ Network::closeConnection(ConnId id)
 void
 Network::processPendingCloses()
 {
-    for (auto it = pcs.begin(); it != pcs.end();) {
+    // Teardown order is observable (credits return and output VCs free
+    // as segments are removed), so walk the closing connections in
+    // ascending id order rather than unordered_map bucket order.
+    closeScratch.clear();
+    // mmr-lint: allow(unordered-iter) order-insensitive: ids are only
+    // collected here and sorted below before anything observes them.
+    for (const auto &[id, conn] : pcs) {
+        if (conn.closing)
+            // mmr-lint: allow(hot-path-alloc) amortized: closeScratch
+            // is a member; its capacity persists across cycles.
+            closeScratch.push_back(id);
+    }
+    std::sort(closeScratch.begin(), closeScratch.end());
+    for (const ConnId id : closeScratch) {
+        auto it = pcs.find(id);
         PcsConnection &conn = it->second;
-        if (!conn.closing) {
-            ++it;
-            continue;
-        }
         bool drained = true;
         for (const ReservedHop &hop : conn.hops) {
             const SegmentParams *seg =
@@ -534,13 +556,11 @@ Network::processPendingCloses()
                 }
             }
         }
-        if (!drained) {
-            ++it;
+        if (!drained)
             continue;
-        }
         for (const ReservedHop &hop : conn.hops)
             routers[hop.node]->removeSegment(conn.id);
-        it = pcs.erase(it);
+        pcs.erase(it);
     }
 }
 
@@ -759,6 +779,8 @@ Network::placeDatagram(PendingArrival &p, Cycle now)
     return true;
 }
 
+// mmr-lint: allow(hot-path-alloc) deque block churn is bounded by the
+// number of in-flight link flits; pendingArrivals recycles its blocks.
 void
 Network::processArrivals(Cycle now)
 {
@@ -882,6 +904,8 @@ Network::registerInvariants(InvariantChecker &chk, unsigned sweep_period)
     chk.add(
         "net-pcs-segments",
         [this](Cycle) {
+            // mmr-lint: allow(unordered-iter) order-insensitive: pure
+            // check; any violation panics regardless of visit order.
             for (const auto &[id, conn] : pcs) {
                 for (const ReservedHop &hop : conn.hops) {
                     if (routers[hop.node]->connection(id) == nullptr) {

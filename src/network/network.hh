@@ -41,7 +41,7 @@ struct NetworkConfig
 {
     /** Per-router template; numPorts is overridden per node. */
     RouterConfig router;
-    unsigned linkLatency = 1;    ///< flit cycles per inter-router hop
+    Cycle linkLatency = 1;       ///< flit cycles per inter-router hop
     double probeHopCycles = 2.0; ///< setup-latency model per probe step
     std::uint64_t seed = 7;
 };
@@ -234,8 +234,8 @@ class Network : public Clocked
     // ------------------------------------------------------------------
     // Clocked
     // ------------------------------------------------------------------
-    void evaluate(Cycle now) override;
-    void advance(Cycle now) override;
+    MMR_HOT_PATH void evaluate(Cycle now) override;
+    MMR_HOT_PATH void advance(Cycle now) override;
 
     // ------------------------------------------------------------------
     // Measurement
@@ -350,6 +350,11 @@ class Network : public Clocked
 
     std::deque<LinkFlit> linkQueue;
     std::deque<PendingArrival> pendingArrivals;
+
+    /** Scratch for processPendingCloses(): ids of closing connections,
+     * sorted before teardown so the walk order never depends on the
+     * pcs bucket layout.  A member so its capacity persists. */
+    std::vector<ConnId> closeScratch;
 
     void rebuildRouting();
     bool directedLinkUp(NodeId n, PortId port) const;

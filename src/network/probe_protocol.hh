@@ -91,7 +91,7 @@ class ProbeSetupManager
                       std::uint64_t seed);
 
     /** Per-hop latency of probe/backtrack/ack messages (flit cycles). */
-    void setHopLatency(unsigned cycles) { hopLatency = cycles; }
+    void setHopLatency(Cycle cycles) { hopLatency = cycles; }
 
     /** Optional link-health filter (fault injection). */
     void setLinkAlive(LinkAlive fn) { linkAlive = std::move(fn); }
@@ -174,7 +174,7 @@ class ProbeSetupManager
     LinkAlive linkAlive; ///< empty = all links healthy
     MessageLoss messageLoss; ///< empty = lossless control channel
     Rng rng;
-    unsigned hopLatency = 2;
+    Cycle hopLatency = 2;
     Cycle timeoutCycles = 0;
     std::uint64_t nextToken = 1;
     std::uint64_t statMessagesLost = 0;

@@ -69,6 +69,8 @@ UpDownRouting::isUp(NodeId from, NodeId to) const
     return to < from;
 }
 
+// mmr-lint: allow(hot-path-alloc) cold: runs once per destination on a
+// distCache miss (construction or topology change), never steady state.
 std::vector<unsigned>
 UpDownRouting::phaseDistances(NodeId dst) const
 {
@@ -120,6 +122,8 @@ UpDownRouting::phaseDistances(NodeId dst) const
     return dist;
 }
 
+// mmr-lint: allow(hot-path-alloc) per-datagram route enumeration,
+// bounded by the port count; the CBR/VBR stream path never comes here.
 std::vector<NodeId>
 UpDownRouting::legalNextHops(NodeId at, NodeId dst, bool down_phase) const
 {
@@ -142,6 +146,8 @@ UpDownRouting::legalNextHops(NodeId at, NodeId dst, bool down_phase) const
     return hops;
 }
 
+// mmr-lint: allow(hot-path-alloc) per-datagram tie vector, bounded by
+// the port count; the CBR/VBR stream path never comes here.
 NodeId
 UpDownRouting::adaptiveNextHop(NodeId at, NodeId dst, bool down_phase,
                                Rng &rng) const

@@ -33,6 +33,8 @@ namespace mmr
 
 class VcdWriter;
 
+// mmr-lint: allow(clocked-invariants) pure observer: samples registry
+// values into a ring buffer and holds no simulation state to audit.
 class StatsSampler : public Clocked
 {
   public:

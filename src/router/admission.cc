@@ -38,21 +38,22 @@ AdmissionController::regs(PortId out) const
 }
 
 bool
-AdmissionController::tryAdmitCbr(PortId out, unsigned cycles)
+AdmissionController::tryAdmitCbr(PortId out, unsigned alloc_cycles)
 {
     LinkRegisters &r = regs(out);
-    if (r.allocated + cycles > reservable)
+    if (r.allocated + alloc_cycles > reservable)
         return false;
-    r.allocated += cycles;
+    r.allocated += alloc_cycles;
     return true;
 }
 
 void
-AdmissionController::releaseCbr(PortId out, unsigned cycles)
+AdmissionController::releaseCbr(PortId out, unsigned alloc_cycles)
 {
     LinkRegisters &r = regs(out);
-    mmr_assert(r.allocated >= cycles, "releasing more than allocated");
-    r.allocated -= cycles;
+    mmr_assert(r.allocated >= alloc_cycles,
+               "releasing more than allocated");
+    r.allocated -= alloc_cycles;
 }
 
 bool

@@ -37,10 +37,10 @@ class AdmissionController
                         double best_effort_reserve);
 
     /** Try to reserve CBR bandwidth on an output link. */
-    bool tryAdmitCbr(PortId out, unsigned cycles);
+    bool tryAdmitCbr(PortId out, unsigned alloc_cycles);
 
     /** Release a CBR reservation (connection teardown). */
-    void releaseCbr(PortId out, unsigned cycles);
+    void releaseCbr(PortId out, unsigned alloc_cycles);
 
     /** Try to reserve VBR permanent + peak bandwidth. */
     bool tryAdmitVbr(PortId out, unsigned perm_cycles,

@@ -66,6 +66,8 @@ LinkScheduler::eligibleMask(Cycle now, const CreditManager &credits) const
     return mask;
 }
 
+// mmr-lint: allow(hot-path-alloc) amortized: eligMask is sized once
+// for the VC count and only reassigned in place thereafter.
 void
 LinkScheduler::refreshEligMask(const CreditManager &credits, bool force)
 {
@@ -99,6 +101,9 @@ LinkScheduler::refreshEligMask(const CreditManager &credits, bool force)
     mem->clearSchedDirty();
 }
 
+// mmr-lint: allow(hot-path-alloc) amortized: scratch/touchedOutputs/
+// bestPerOutput and the caller-owned `out` all keep their capacity
+// across cycles (verified dynamically by test_zero_alloc).
 void
 LinkScheduler::collectCandidates(Cycle now, unsigned max_candidates,
                                  const CreditManager &credits, Rng &rng,

@@ -71,9 +71,11 @@ class LinkScheduler
      * @param credits downstream credit state (credits_available)
      * @param rng tie-break randomness
      */
-    void collectCandidates(Cycle now, unsigned max_candidates,
-                           const CreditManager &credits, Rng &rng,
-                           std::vector<Candidate> &out);
+    MMR_HOT_PATH void collectCandidates(Cycle now,
+                                        unsigned max_candidates,
+                                        const CreditManager &credits,
+                                        Rng &rng,
+                                        std::vector<Candidate> &out);
 
     /**
      * The eligibility mask as a bit vector — the §4.1 status-vector

@@ -179,6 +179,8 @@ MmrRouter::openBestEffort(PortId in, PortId out)
     return p.id;
 }
 
+// mmr-lint: allow(hot-path-alloc) setup path: a segment is installed
+// once per connection/probe hop, never on the steady-state data path.
 bool
 MmrRouter::installSegment(const SegmentParams &p)
 {
@@ -400,6 +402,9 @@ MmrRouter::creditAvailable(const VcState &vc) const
 // Clocked
 // ---------------------------------------------------------------------
 
+// mmr-lint: allow(hot-path-alloc) control-channel bookkeeping grows
+// only while a setup/teardown is in flight; data-only cycles take the
+// early-out above the port-mask setup and never allocate.
 void
 MmrRouter::processBypass(Cycle now)
 {
@@ -565,18 +570,25 @@ MmrRouter::maybeAutoRelease(ConnId id, PortId in, VcId in_vc)
         return;
     const VcState &vc = inputMems[in].vc(in_vc);
     if (vc.empty() && vc.pendingGrants() == 0) {
-        // Drop any control-channel cache entry pointing at this conn.
-        for (auto cit = controlChans.begin(); cit != controlChans.end();
-             ++cit) {
-            if (cit->second == id) {
-                controlChans.erase(cit);
-                break;
-            }
+        // Drop every control-channel cache entry pointing at this
+        // conn.  Erasing all matches (not just the first found) keeps
+        // the cache free of stale entries and makes the loop
+        // order-insensitive.
+        // mmr-lint: allow(unordered-iter) order-insensitive: erases
+        // every match; no observable effect depends on visit order.
+        for (auto cit = controlChans.begin();
+             cit != controlChans.end();) {
+            if (cit->second == id)
+                cit = controlChans.erase(cit);
+            else
+                ++cit;
         }
         removeSegment(id);
     }
 }
 
+// mmr-lint: allow(hot-path-alloc) amortized: configScratch is a member
+// whose capacity persists across cycles (see test_zero_alloc).
 void
 MmrRouter::applyMatching(Cycle now)
 {
@@ -696,6 +708,8 @@ MmrRouter::registerInvariants(InvariantChecker &chk,
             std::vector<unsigned> peak(cfg.numPorts, 0);
             if (extra_demand)
                 extra_demand(alloc, peak);
+            // mmr-lint: allow(unordered-iter) order-insensitive:
+            // commutative integer sums into per-port accumulators.
             for (const auto &[id, p] : conns) {
                 if (p.klass == TrafficClass::CBR) {
                     alloc[p.out] += p.allocCycles;

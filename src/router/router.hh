@@ -158,8 +158,8 @@ class MmrRouter : public Clocked
     // ------------------------------------------------------------------
     // Clocked interface
     // ------------------------------------------------------------------
-    void evaluate(Cycle now) override;
-    void advance(Cycle now) override;
+    MMR_HOT_PATH void evaluate(Cycle now) override;
+    MMR_HOT_PATH void advance(Cycle now) override;
 
     // ------------------------------------------------------------------
     // Invariant auditing

@@ -158,6 +158,9 @@ augment(PortId in, const std::vector<std::vector<const Candidate *>> &req,
 
 } // namespace
 
+// mmr-lint: allow(hot-path-alloc) amortized: the matching and
+// any per-call scratch reuse caller/member capacity across
+// cycles (verified dynamically by test_zero_alloc).
 void
 GreedyPriorityScheduler::scheduleInto(
     const std::vector<std::vector<Candidate>> &per_input,
@@ -241,6 +244,9 @@ OutputDrivenScheduler::OutputDrivenScheduler(unsigned num_ports,
     mmr_assert(iters >= 1, "need at least one matching iteration");
 }
 
+// mmr-lint: allow(hot-path-alloc) amortized: the matching and
+// any per-call scratch reuse caller/member capacity across
+// cycles (verified dynamically by test_zero_alloc).
 void
 OutputDrivenScheduler::scheduleInto(
     const std::vector<std::vector<Candidate>> &per_input,
@@ -304,6 +310,9 @@ AutonetScheduler::AutonetScheduler(unsigned num_ports, unsigned iterations)
     mmr_assert(iters >= 1, "need at least one matching iteration");
 }
 
+// mmr-lint: allow(hot-path-alloc) amortized: the matching and
+// any per-call scratch reuse caller/member capacity across
+// cycles (verified dynamically by test_zero_alloc).
 void
 AutonetScheduler::scheduleInto(
     const std::vector<std::vector<Candidate>> &per_input,
@@ -369,6 +378,9 @@ IslipScheduler::IslipScheduler(unsigned num_ports, unsigned iterations)
     mmr_assert(iters >= 1, "need at least one matching iteration");
 }
 
+// mmr-lint: allow(hot-path-alloc) amortized: the matching and
+// any per-call scratch reuse caller/member capacity across
+// cycles (verified dynamically by test_zero_alloc).
 void
 IslipScheduler::scheduleInto(
     const std::vector<std::vector<Candidate>> &per_input,
@@ -444,6 +456,9 @@ PerfectSwitchScheduler::PerfectSwitchScheduler(unsigned num_ports)
 {
 }
 
+// mmr-lint: allow(hot-path-alloc) amortized: the matching and
+// any per-call scratch reuse caller/member capacity across
+// cycles (verified dynamically by test_zero_alloc).
 void
 PerfectSwitchScheduler::scheduleInto(
     const std::vector<std::vector<Candidate>> &per_input,

@@ -72,7 +72,7 @@ class SwitchScheduler
      * @param rng arbitration randomness
      * @param out receives the matching
      */
-    virtual void scheduleInto(
+    MMR_HOT_PATH virtual void scheduleInto(
         const std::vector<std::vector<Candidate>> &per_input,
         const PortMasks &masks, Rng &rng, Matching &out) = 0;
 

@@ -90,6 +90,8 @@ class VcMemory
      * VC is at its depth limit — upstream flow control should have
      * prevented this.
      */
+    // mmr-lint: allow(hot-path-alloc) state.push is VcState::push into
+    // the FlitFifo ring, which keeps its capacity once grown.
     bool
     deposit(VcId v, const Flit &f)
     {

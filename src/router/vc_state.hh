@@ -174,7 +174,7 @@ class VcState
     void setUserPriority(int p) { priority = p; }
 
     /** Dynamic bandwidth renegotiation (§4.3 control words). */
-    void setCbrAlloc(unsigned cycles) { cbrAlloc = cycles; }
+    void setCbrAlloc(unsigned alloc_cycles) { cbrAlloc = alloc_cycles; }
     void setVbrAlloc(unsigned perm, unsigned peak);
     void setInterArrival(double cycles) { interArrivalCycles_ = cycles; }
 

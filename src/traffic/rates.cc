@@ -48,11 +48,11 @@ cyclesPerRound(double rate_bps, double link_rate_bps,
 }
 
 double
-grantedRate(unsigned cycles, double link_rate_bps,
+grantedRate(unsigned alloc_cycles, double link_rate_bps,
             unsigned cycles_per_round)
 {
     mmr_assert(cycles_per_round > 0, "round length must be positive");
-    return link_rate_bps * static_cast<double>(cycles) /
+    return link_rate_bps * static_cast<double>(alloc_cycles) /
            static_cast<double>(cycles_per_round);
 }
 

@@ -52,7 +52,7 @@ unsigned cyclesPerRound(double rate_bps, double link_rate_bps,
  * Quantization error shrinks as K grows — the §4.1 trade-off probed by
  * bench_k_tradeoff.
  */
-double grantedRate(unsigned cycles, double link_rate_bps,
+double grantedRate(unsigned alloc_cycles, double link_rate_bps,
                    unsigned cycles_per_round);
 
 } // namespace mmr

@@ -1,0 +1,41 @@
+// mmr-lint fixture: the clocked-simclock rule must fire exactly once.
+namespace mmr
+{
+
+using Cycle = unsigned long long;
+
+namespace simclock
+{
+Cycle now();
+} // namespace simclock
+
+struct Clocked
+{
+    virtual void evaluate(Cycle) = 0;
+    virtual void advance(Cycle) = 0;
+    virtual ~Clocked() = default;
+};
+
+class InvariantChecker;
+
+class Echo : public Clocked
+{
+  public:
+    void
+    evaluate(Cycle now) override
+    {
+        (void)now;
+        // BAD: a tick must take time from the kernel parameter, never
+        // the global clock (which may be another shard's in the
+        // sharded core).
+        last = simclock::now();
+    }
+
+    void advance(Cycle) override {}
+    void registerInvariants(InvariantChecker &, unsigned) const;
+
+  private:
+    Cycle last = 0;
+};
+
+} // namespace mmr

@@ -1,0 +1,13 @@
+// mmr-lint fixture: the cycle-type rule must fire exactly once.
+namespace mmr
+{
+
+struct Probe
+{
+    // BAD: a flit-cycle deadline in a raw builtin integer where the
+    // Cycle type exists (and per-round budgets like allocCycles are
+    // exempt by convention, so this is unambiguous).
+    long timeoutCycles = 0;
+};
+
+} // namespace mmr

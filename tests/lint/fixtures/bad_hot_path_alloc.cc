@@ -1,0 +1,28 @@
+// mmr-lint fixture: the hot-path-alloc rule must fire exactly once,
+// on the push_back reached transitively from the MMR_HOT_PATH root.
+#include <vector>
+
+#define MMR_HOT_PATH __attribute__((hot))
+
+namespace mmr
+{
+
+struct Arbiter
+{
+    std::vector<unsigned> grants;
+
+    void
+    recordGrant(unsigned g)
+    {
+        // BAD: reachable from the hot root below and may reallocate.
+        grants.push_back(g);
+    }
+
+    MMR_HOT_PATH void
+    evaluateCycle(unsigned winner)
+    {
+        recordGrant(winner);
+    }
+};
+
+} // namespace mmr

@@ -1,0 +1,15 @@
+// mmr-lint fixture: the nondet-source rule must fire exactly once.
+#include <cstdlib>
+
+namespace mmr
+{
+
+double
+jitterFraction()
+{
+    // BAD: libc rand() outside src/base/rng.* — unseeded, global, and
+    // invisible to the reproducibility contract.
+    return static_cast<double>(rand()) / RAND_MAX;
+}
+
+} // namespace mmr

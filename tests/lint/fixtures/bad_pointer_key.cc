@@ -1,0 +1,15 @@
+// mmr-lint fixture: the pointer-key rule must fire exactly once.
+#include <map>
+
+namespace mmr
+{
+
+class MmrRouter;
+
+struct Roster
+{
+    // BAD: ordered by heap address, i.e. by allocation order and ASLR.
+    std::map<MmrRouter *, unsigned> ranks;
+};
+
+} // namespace mmr

@@ -1,0 +1,24 @@
+// mmr-lint fixture: the determinism rule must fire exactly once here.
+#include <unordered_map>
+
+namespace mmr
+{
+
+struct Ledger
+{
+    std::unordered_map<unsigned, unsigned> credits;
+
+    unsigned
+    firstNonZero() const
+    {
+        // BAD: early-exit over unordered_map — the result depends on
+        // the bucket layout.
+        for (const auto &kv : credits) {
+            if (kv.second != 0)
+                return kv.first;
+        }
+        return 0;
+    }
+};
+
+} // namespace mmr

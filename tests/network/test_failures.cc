@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "network/interface.hh"
 #include "network/network.hh"
@@ -82,6 +84,40 @@ TEST_F(FailureTest, ConnectionsCrossingTheLinkFail)
     const Topology &t = net->topology();
     EXPECT_EQ(r0.admission().allocatedCycles(t.portTowards(0, 1)), 0u);
     EXPECT_EQ(r0.routing().freeOutputVcCount(t.portTowards(0, 1)), 16u);
+}
+
+// Regression: failLink() used to walk the PCS table in unordered_map
+// bucket order, so the connection-failure hook fired in an order that
+// depended on the standard library's hash layout — and since the
+// recovery manager draws backoff jitter from its RNG per hook call,
+// the whole recovery schedule (and every digest downstream of it)
+// inherited that layout.  The teardown walk must visit crossing
+// connections in ascending id order, always.
+TEST_F(FailureTest, FailureHookFiresInAscendingIdOrder)
+{
+    build(Topology::ring(4));
+    // Many connections over the same link so several hash layouts
+    // would disagree about the visit order.
+    std::vector<ConnId> opened;
+    for (int i = 0; i < 12; ++i) {
+        const auto o = net->openCbr(0, 1, 1 * kMbps);
+        ASSERT_TRUE(o.accepted) << "connection " << i;
+        opened.push_back(o.id);
+    }
+    std::vector<ConnId> fired;
+    net->setConnectionFailureHook(
+        [&fired](ConnId id, NodeId, NodeId, TrafficClass) {
+            fired.push_back(id);
+        });
+    ASSERT_TRUE(net->failLink(0, 1));
+    ASSERT_EQ(fired.size(), opened.size());
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LT(fired[i - 1], fired[i])
+            << "hook order must be ascending by connection id, not "
+               "hash-bucket order";
+    // And the set is exactly the connections that crossed the link.
+    std::sort(opened.begin(), opened.end());
+    EXPECT_EQ(fired, opened);
 }
 
 TEST_F(FailureTest, InFlightFlitsAreLostNotWedged)

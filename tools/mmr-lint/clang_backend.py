@@ -1,0 +1,308 @@
+"""libclang (clang.cindex) backend for mmr-lint.
+
+Preferred when python3 clang bindings and a libclang shared library are
+available (the CI mmr-lint job installs python3-clang); builds the same
+Observations model as the token backend but with real type resolution:
+range-for ranges, declaration types, and member calls come from the
+AST, so aliasing and templates resolve exactly.
+
+Importing this module raises when the bindings or the library are
+missing; mmr_lint.py catches that and falls back to the token backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+import clang.cindex as ci
+
+from project_model import (CallSite, ClassInfo, FunctionInfo, IdentUse,
+                           LoopSite, Observations, SiteNote, VarDecl)
+from text_backend import (MAP_LIKE, NONDET_ANY, NONDET_CALL0, SET_LIKE,
+                          UNORDERED)
+from cpp_lexer import lex  # suppression comments come from the lexer
+from text_backend import _SUPPRESS_RE
+
+# Probe that a libclang shared object actually loads (the import above
+# only loads the pure-python bindings).
+if not ci.Config.loaded:
+    try:
+        ci.Index.create()
+    except ci.LibclangError:
+        # Try the versioned sonames Debian/Ubuntu ship.
+        for ver in ("", "-18", "-17", "-16", "-15", "-14"):
+            try:
+                ci.Config.set_library_file(f"libclang{ver}.so.1")
+                ci.Index.create()
+                break
+            except Exception:
+                ci.Config.loaded = False
+        else:
+            raise
+
+
+_CONTAINER_RE = re.compile(
+    r"\b(unordered_(?:multi)?(?:map|set)|(?:multi)?map|(?:multi)?set)<")
+
+HOT_ANNOTATION = "mmr::hot_path"
+
+
+def _container_kind(type_spelling: str):
+    m = _CONTAINER_RE.search(type_spelling)
+    return m.group(1) if m else None
+
+
+def _ptr_key(type_spelling: str) -> bool:
+    m = _CONTAINER_RE.search(type_spelling)
+    if not m:
+        return False
+    rest = type_spelling[m.end():]
+    depth = 0
+    for c in rest:
+        if c == "<":
+            depth += 1
+        elif c == ">" and depth:
+            depth -= 1
+        elif depth == 0 and c in ",>":
+            break
+        elif depth == 0 and c == "*":
+            return True
+    return False
+
+
+class ClangBackend:
+    name = "clang"
+
+    def __init__(self, compile_commands=None):
+        self.index = ci.Index.create()
+        self.args_for = {}
+        self.default_args = ["-std=c++20", "-Isrc", "-I."]
+        if compile_commands and os.path.isfile(compile_commands):
+            with open(compile_commands) as f:
+                for entry in json.load(f):
+                    args = entry.get("arguments")
+                    if not args and "command" in entry:
+                        args = entry["command"].split()
+                    flags = []
+                    skip = False
+                    for a in (args or [])[1:]:
+                        if skip:
+                            skip = False
+                            continue
+                        if a in ("-c", "-o"):
+                            skip = a == "-o"
+                            continue
+                        if a.endswith((".cc", ".cpp", ".o")):
+                            continue
+                        flags.append(a)
+                    self.args_for[os.path.abspath(
+                        os.path.join(entry.get("directory", "."),
+                                     entry["file"]))] = flags
+
+    # -- entry ----------------------------------------------------------
+
+    def analyze(self, files: dict[str, str]) -> Observations:
+        obs = Observations()
+        obs.files = sorted(files)
+        self.obs = obs
+        self.wanted = set(files)
+        for rel, source in sorted(files.items()):
+            self._suppressions(rel, source)
+        # Parse only translation units; headers are analyzed through
+        # the TUs that include them (and once standalone if never
+        # included, to keep header-only findings).
+        seen_files = set()
+        tus = [f for f in sorted(files) if f.endswith((".cc", ".cpp"))]
+        for rel in tus:
+            self._parse(rel, files, seen_files)
+        for rel in sorted(self.wanted - seen_files):
+            if rel.endswith((".hh", ".hpp", ".h")):
+                self._parse(rel, files, seen_files, header=True)
+        return obs
+
+    def _suppressions(self, rel, source):
+        import bisect
+        toks, comments = lex(source)
+        supp = self.obs.suppressions.setdefault(rel, {})
+        tok_lines = [t.line for t in toks]
+        for c in comments:
+            m = _SUPPRESS_RE.search(c.text)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(2).split(",")
+                     if r.strip()}
+            if m.group(1) == "allow-file":
+                supp.setdefault(0, set()).update(rules)
+                continue
+            supp.setdefault(c.line, set()).update(rules)
+            if c.own_line:
+                k = bisect.bisect_right(tok_lines, c.end_line)
+                if k < len(tok_lines):
+                    supp.setdefault(tok_lines[k], set()).update(rules)
+
+    def _parse(self, rel, files, seen_files, header=False):
+        path = os.path.abspath(rel)
+        args = self.args_for.get(path, self.default_args)
+        if header:
+            args = list(args) + ["-x", "c++-header"]
+        tu = self.index.parse(rel, args=args,
+                              options=ci.TranslationUnit
+                              .PARSE_DETAILED_PROCESSING_RECORD)
+        for cur in tu.cursor.walk_preorder():
+            loc_file = cur.location.file
+            if loc_file is None:
+                continue
+            loc_rel = os.path.relpath(loc_file.name)
+            if loc_rel not in self.wanted or loc_rel in seen_files:
+                if loc_rel not in self.wanted:
+                    continue
+            self._visit(cur, loc_rel)
+        for f in tu.get_includes():
+            inc_rel = os.path.relpath(f.include.name) \
+                if f.include else None
+            if inc_rel in self.wanted:
+                seen_files.add(inc_rel)
+        seen_files.add(rel)
+
+    # -- cursor dispatch -----------------------------------------------
+
+    def _visit(self, cur, rel):
+        kind = cur.kind
+        if kind in (ci.CursorKind.CLASS_DECL, ci.CursorKind.STRUCT_DECL) \
+                and cur.is_definition():
+            self._class(cur, rel)
+        elif kind in (ci.CursorKind.CXX_METHOD,
+                      ci.CursorKind.FUNCTION_DECL,
+                      ci.CursorKind.CONSTRUCTOR,
+                      ci.CursorKind.DESTRUCTOR) and cur.is_definition():
+            self._function(cur, rel)
+        elif kind in (ci.CursorKind.FIELD_DECL, ci.CursorKind.VAR_DECL,
+                      ci.CursorKind.PARM_DECL):
+            self._decl(cur, rel)
+        elif kind == ci.CursorKind.DECL_REF_EXPR:
+            self._ref(cur, rel)
+
+    def _class(self, cur, rel):
+        name = cur.spelling
+        info = self.obs.classes.setdefault(
+            name, ClassInfo(name, [], rel, cur.location.line))
+        for ch in cur.get_children():
+            if ch.kind == ci.CursorKind.CXX_BASE_SPECIFIER:
+                base = ch.type.spelling.split("<")[0].split("::")[-1]
+                info.bases.append(base)
+            elif ch.kind == ci.CursorKind.CXX_METHOD:
+                info.methods.add(ch.spelling)
+                if self._is_hot(ch):
+                    info.hot_decls.add(ch.spelling)
+
+    @staticmethod
+    def _is_hot(cur):
+        return any(ch.kind == ci.CursorKind.ANNOTATE_ATTR and
+                   ch.spelling == HOT_ANNOTATION
+                   for ch in cur.get_children())
+
+    def _function(self, cur, rel):
+        cls = None
+        parent = cur.semantic_parent
+        if parent is not None and parent.kind in (
+                ci.CursorKind.CLASS_DECL, ci.CursorKind.STRUCT_DECL):
+            cls = parent.spelling
+        fn = FunctionInfo(cls, cur.spelling, rel, cur.location.line,
+                          cur.extent.end.line, hot=self._is_hot(cur),
+                          head_line=cur.extent.start.line)
+        for node in cur.walk_preorder():
+            nk = node.kind
+            nrel = (os.path.relpath(node.location.file.name)
+                    if node.location.file else rel)
+            if nk == ci.CursorKind.CXX_NEW_EXPR:
+                fn.alloc_sites.append(
+                    SiteNote("new", nrel, node.location.line))
+            elif nk == ci.CursorKind.CALL_EXPR:
+                callee = node.referenced
+                name = node.spelling or (callee.spelling if callee
+                                         else "")
+                if not name:
+                    continue
+                is_member = callee is not None and \
+                    callee.kind == ci.CursorKind.CXX_METHOD
+                qual = ""
+                if is_member and callee.semantic_parent is not None:
+                    qual = callee.semantic_parent.spelling
+                fn.calls.append(CallSite(name, qual, is_member, nrel,
+                                         node.location.line))
+                if name in ("malloc", "calloc", "realloc", "strdup",
+                            "aligned_alloc", "make_unique",
+                            "make_shared", "to_string"):
+                    fn.alloc_sites.append(
+                        SiteNote(name, nrel, node.location.line))
+                if name == "operator[]" and is_member and \
+                        _container_kind(
+                            callee.semantic_parent.type.spelling
+                            if callee.semantic_parent else "") \
+                        in MAP_LIKE:
+                    fn.map_subscripts.append(SiteNote(
+                        "operator[] (map) may insert", nrel,
+                        node.location.line))
+                if name in ("begin", "cbegin", "rbegin") and is_member:
+                    parent_t = (callee.semantic_parent.type.spelling
+                                if callee.semantic_parent else "")
+                    kind2 = _container_kind(parent_t)
+                    if kind2 in UNORDERED:
+                        self.obs.loops.append(LoopSite(
+                            f"{name}()", kind2, cls, cur.spelling,
+                            nrel, node.location.line))
+            elif nk == ci.CursorKind.CXX_FOR_RANGE_STMT:
+                children = list(node.get_children())
+                if len(children) >= 2:
+                    rng = children[-2]
+                    kind2 = _container_kind(
+                        rng.type.get_canonical().spelling or
+                        rng.type.spelling)
+                    if kind2 in UNORDERED:
+                        expr = " ".join(
+                            t.spelling for t in rng.get_tokens())[:60]
+                        self.obs.loops.append(LoopSite(
+                            expr, kind2, cls, cur.spelling, nrel,
+                            node.location.line))
+        self.obs.functions.append(fn)
+
+    def _decl(self, cur, rel):
+        spelling = cur.type.get_canonical().spelling or \
+            cur.type.spelling
+        kind = _container_kind(spelling)
+        scope = "local:"
+        parent = cur.semantic_parent
+        if cur.kind == ci.CursorKind.FIELD_DECL and parent is not None:
+            scope = f"member:{parent.spelling}"
+        elif cur.kind == ci.CursorKind.PARM_DECL and parent is not None:
+            scope = f"param:{parent.spelling}"
+        if kind:
+            marker = "<ptr-key>" if (kind in MAP_LIKE or kind in
+                                     SET_LIKE) and _ptr_key(spelling) \
+                else ""
+            self.obs.decls.append(VarDecl(
+                cur.spelling, kind + marker, scope, rel,
+                cur.location.line))
+            return
+        base = spelling.replace("const", "").strip()
+        if base in ("int", "long", "short", "unsigned int",
+                    "unsigned long", "unsigned short", "unsigned"):
+            if cur.spelling:
+                self.obs.decls.append(VarDecl(
+                    cur.spelling, base, scope, rel, cur.location.line))
+
+    def _ref(self, cur, rel):
+        name = cur.spelling
+        if name in NONDET_ANY:
+            self.obs.ident_uses.append(
+                IdentUse(name, "name", rel, cur.location.line))
+        elif name in NONDET_CALL0 or name in ("srand", "time"):
+            # Only flag the call forms; bare references to project
+            # members that happen to share a name stay clean.
+            ref = cur.referenced
+            if ref is not None and ref.location.file is not None:
+                return  # project-defined symbol, not libc
+            self.obs.ident_uses.append(
+                IdentUse(name, "call0", rel, cur.location.line))

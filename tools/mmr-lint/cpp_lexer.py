@@ -1,0 +1,156 @@
+"""Minimal C++ lexer for the mmr-lint text backend.
+
+Produces a flat token stream (identifier / number / punctuation) with
+line numbers, plus a side list of comments so suppression directives
+(`// mmr-lint: allow(<rule>) ...`) survive lexing.  String and char
+literals are collapsed to single STRING/CHAR tokens, preprocessor
+directives to PP tokens, so the structural scanner never trips on
+braces inside literals or macros.
+
+This is not a conforming C++ lexer; it is exactly as much lexer as the
+project-semantic rules need, and it is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+IDENT = "ident"
+NUMBER = "number"
+PUNCT = "punct"
+STRING = "string"
+CHAR = "char"
+PP = "pp"
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"(?:0[xX][0-9a-fA-F']+|[0-9][0-9a-fA-F'.xXeEpP+-]*)")
+# Longest-first so '->' beats '-', '::' beats ':'.
+_PUNCTS = [
+    "<<=", ">>=", "...", "->*", "<=>",
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+]
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+@dataclass
+class Comment:
+    text: str
+    line: int        # line the comment starts on
+    end_line: int
+    own_line: bool   # no code precedes it on its first line
+
+
+def lex(source: str):
+    """Return (tokens, comments) for one translation unit."""
+    tokens: list[Token] = []
+    comments: list[Comment] = []
+    i = 0
+    line = 1
+    n = len(source)
+    line_had_code = False
+
+    def add(kind, text):
+        nonlocal line_had_code
+        tokens.append(Token(kind, text, line))
+        line_had_code = True
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            line_had_code = False
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Comments -----------------------------------------------------
+        if c == "/" and i + 1 < n:
+            nxt = source[i + 1]
+            if nxt == "/":
+                j = source.find("\n", i)
+                j = n if j < 0 else j
+                comments.append(
+                    Comment(source[i:j], line, line, not line_had_code))
+                i = j
+                continue
+            if nxt == "*":
+                j = source.find("*/", i + 2)
+                j = n - 2 if j < 0 else j
+                text = source[i:j + 2]
+                end_line = line + text.count("\n")
+                comments.append(Comment(text, line, end_line,
+                                        not line_had_code))
+                line = end_line
+                i = j + 2
+                continue
+        # Preprocessor -------------------------------------------------
+        if c == "#" and not line_had_code:
+            j = i
+            while j < n:
+                k = source.find("\n", j)
+                k = n if k < 0 else k
+                if source[k - 1] == "\\" if k > 0 else False:
+                    j = k + 1
+                    continue
+                break
+            text = source[i:k]
+            add(PP, text)
+            line += text.count("\n")
+            i = k
+            continue
+        # Raw strings --------------------------------------------------
+        if c == "R" and source[i:i + 2] == 'R"':
+            m = re.match(r'R"([^()\\ ]{0,16})\(', source[i:])
+            if m:
+                delim = m.group(1)
+                close = ")" + delim + '"'
+                j = source.find(close, i + m.end())
+                j = n - len(close) if j < 0 else j
+                text = source[i:j + len(close)]
+                add(STRING, text)
+                line += text.count("\n")
+                i = j + len(close)
+                continue
+        # Strings / chars ----------------------------------------------
+        if c == '"' or c == "'":
+            j = i + 1
+            while j < n and source[j] != c:
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            text = source[i:j + 1]
+            add(STRING if c == '"' else CHAR, text)
+            line += text.count("\n")
+            i = j + 1
+            continue
+        # Identifiers --------------------------------------------------
+        m = _IDENT_RE.match(source, i)
+        if m:
+            add(IDENT, m.group())
+            i = m.end()
+            continue
+        # Numbers ------------------------------------------------------
+        if c.isdigit():
+            m = _NUMBER_RE.match(source, i)
+            add(NUMBER, m.group())
+            i = m.end()
+            continue
+        # Punctuation --------------------------------------------------
+        for p in _PUNCTS:
+            if source.startswith(p, i):
+                add(PUNCT, p)
+                i += len(p)
+                break
+        else:
+            add(PUNCT, c)
+            i += 1
+    return tokens, comments
