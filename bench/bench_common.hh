@@ -51,6 +51,9 @@ struct SweepOptions
     ObsConfig obs;
     /** Print cycles/sec + events/sec per point to stderr. */
     bool printThroughput = false;
+    /** Append per-stage / per-class percentile blocks (--percentiles;
+     * off by default so golden CSV captures stay byte-identical). */
+    bool percentiles = false;
     /** Worker threads for the points of one sweep (sim/sweep.hh);
      * 1 = serial.  Results and digests are identical either way. */
     unsigned jobs = 1;
@@ -134,6 +137,50 @@ printFigure(const std::string &name,
     t.printJson(std::cout, name);
 }
 
+/**
+ * Percentile companions to a figure: total-delay p50/p90/p99/p99.9
+ * blocks (columns = series) plus a per-stage p99 block per latency
+ * stage.  Gated behind --percentiles by the callers so the default
+ * output — and therefore the golden-file captures — never changes.
+ */
+inline void
+printPercentiles(
+    const std::string &name, const std::vector<Series> &series,
+    const std::vector<double> &loads,
+    const std::vector<std::vector<ExperimentResult>> &results)
+{
+    const std::pair<const char *, Cycle LatencySummary::*> pcts[] = {
+        {"p50", &LatencySummary::p50},
+        {"p90", &LatencySummary::p90},
+        {"p99", &LatencySummary::p99},
+        {"p999", &LatencySummary::p999},
+    };
+    for (const auto &[key, field] : pcts) {
+        printFigure(
+            name + "_delay_" + key, series, loads, results,
+            [field](const ExperimentResult &r) {
+                LatencyHistogram all = r.cbr.delayHist;
+                all.merge(r.vbr.delayHist);
+                all.merge(r.bestEffort.delayHist);
+                return static_cast<double>(all.summarize().*field);
+            },
+            0);
+    }
+    for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+        if (results.empty() || results[0].empty() ||
+            results[0][0].stageLatency[s].count == 0)
+            continue; // stage never fed (LinkTransit, single router)
+        printFigure(
+            name + "_stage_" +
+                to_string(static_cast<LatencyStage>(s)) + "_p99",
+            series, loads, results,
+            [s](const ExperimentResult &r) {
+                return static_cast<double>(r.stageLatency[s].p99);
+            },
+            0);
+    }
+}
+
 /** Standard sweep flags shared by the figure benches. */
 inline void
 addSweepFlags(Cli &cli)
@@ -146,6 +193,9 @@ addSweepFlags(Cli &cli)
              "print simulator cycles/sec + events/sec per point");
     cli.flag("jobs", "1",
              "worker threads per sweep (0 = hardware concurrency)");
+    cli.flag("percentiles", "0",
+             "append per-stage / per-class latency percentile blocks "
+             "(p50/p90/p99/p99.9)");
     addObsFlags(cli);
 }
 
@@ -159,6 +209,7 @@ sweepOptions(const Cli &cli)
     o.obs = obsConfigFromCli(cli);
     o.printThroughput = cli.boolean("throughput") ||
                         o.obs.profileComponents;
+    o.percentiles = cli.boolean("percentiles");
     const long jobs = cli.integer("jobs");
     o.jobs = jobs == 0 ? defaultJobs()
                        : static_cast<unsigned>(jobs < 1 ? 1 : jobs);

@@ -37,12 +37,13 @@ namespace
 mmr::NetworkExperimentConfig
 sweepConfig(const std::string &topo, std::uint64_t seed, mmr::Cycle warmup,
             mmr::Cycle measure, mmr::Cycle drain, double fail_per_10k,
-            bool recovery_on)
+            bool recovery_on, mmr::Cycle cbr_budget = 0)
 {
     using namespace mmr;
     NetworkExperimentConfig c;
     c.topologySpec = topo;
     c.seed = seed;
+    c.cbrDelayBudgetCycles = cbr_budget;
     c.net.router.vcsPerPort = 32;
     c.net.router.candidates = 8;
     c.cbrStreamsPerHost = 1;
@@ -77,6 +78,9 @@ main(int argc, char **argv)
         cli.flag("prop-seeds", "50",
                  "randomized fault-schedule seeds for the invariant "
                  "sweep (0 disables)");
+        cli.flag("cbr-budget", "200",
+                 "CBR end-to-end delay budget in flit cycles for the "
+                 "QoS deadline columns (0 = off)");
         cli.flag("faults", "",
                  "single-scenario mode: fault model spec, e.g. "
                  "fail=0.05,repair=6000,drop=0.02,corrupt=1e-4");
@@ -92,6 +96,8 @@ main(int argc, char **argv)
         const auto drain = static_cast<Cycle>(cli.integer("drain"));
         const auto prop_seeds =
             static_cast<unsigned>(cli.integer("prop-seeds"));
+        const auto cbr_budget =
+            static_cast<Cycle>(cli.integer("cbr-budget"));
         std::vector<double> rates;
         for (const auto &p : cli.list("rates"))
             rates.push_back(std::stod(p));
@@ -148,11 +154,13 @@ main(int argc, char **argv)
         Table t({"fail_per_10k", "acceptance", "acc_no_recovery",
                  "conns_failed", "recovered", "abandoned", "retries",
                  "mean_delay", "jitter", "p99_delay",
-                 "worst_conn_delay"});
+                 "worst_conn_delay", "qos_viol_rate",
+                 "qos_worst_excess", "cbr_p999"});
         std::vector<NetworkExperimentResult> sweep;
         for (double rate : rates) {
-            const auto r = runNetworkExperiment(sweepConfig(
-                topo, seed, warmup, measure, drain, rate, true));
+            const auto r = runNetworkExperiment(
+                sweepConfig(topo, seed, warmup, measure, drain, rate,
+                            true, cbr_budget));
             const auto rn =
                 rate > 0.0
                     ? runNetworkExperiment(sweepConfig(
@@ -174,7 +182,10 @@ main(int argc, char **argv)
                       Table::num(r.meanDelayCycles, 4),
                       Table::num(r.meanJitterCycles, 4),
                       Table::num(r.p99DelayCycles, 4),
-                      Table::num(r.maxAliveConnMeanDelay, 4)});
+                      Table::num(r.maxAliveConnMeanDelay, 4),
+                      Table::num(r.qosViolationRate, 4),
+                      Table::num(r.worstQosExcessCycles, 0),
+                      Table::num(r.cbrLatency.p999, 0)});
             sweep.push_back(r);
         }
         t.print(std::cout);

@@ -48,6 +48,8 @@ main(int argc, char **argv)
                     [](const ExperimentResult &r) {
                         return r.meanJitterCycles;
                     });
+        if (opts.percentiles)
+            printPercentiles("fig3", series, loads, results);
 
         // Shape assertions from §5.2: biased <= fixed per candidate
         // count where the schemes diverge — "the differences are

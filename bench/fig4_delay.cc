@@ -48,6 +48,8 @@ main(int argc, char **argv)
                     [](const ExperimentResult &r) {
                         return r.meanDelayUs;
                     });
+        if (opts.percentiles)
+            printPercentiles("fig4", series, loads, results);
 
         // ---- §5.2 spot checks -------------------------------------
         auto at_load = [&](double want) -> std::size_t {

@@ -29,10 +29,14 @@ main(int argc, char **argv)
         Cli cli;
         addSweepFlags(cli);
         cli.flag("load", "0.85", "offered load");
+        cli.flag("cbr-budget", "0",
+                 "CBR delay budget in flit cycles (0 = no QoS "
+                 "deadline accounting)");
         if (!cli.parse(argc, argv))
             return 0;
         const auto opts = sweepOptions(cli);
         const double load = cli.real("load");
+        const auto budget = static_cast<Cycle>(cli.integer("cbr-budget"));
 
         std::printf("Per-rate QoS at %.0f%% load, 8 candidates "
                     "(jitter in router cycles)\n", 100.0 * load);
@@ -53,6 +57,7 @@ main(int argc, char **argv)
         std::map<double, std::vector<double>> delay_by_rate;
         const double link = RouterConfig{}.linkRateBps;
 
+        std::vector<ExperimentResult> polResults;
         for (const Policy &pol : policies) {
             ExperimentConfig cfg;
             cfg.router.scheduler = pol.kind;
@@ -61,9 +66,10 @@ main(int argc, char **argv)
             cfg.warmupCycles = opts.warmupCycles;
             cfg.measureCycles = opts.measureCycles;
             cfg.seed = opts.seed;
+            cfg.cbrDelayBudget = budget;
 
             SingleRouterExperiment exp(cfg);
-            exp.run();
+            polResults.push_back(exp.run());
             std::fprintf(stderr, "  %s done\n", pol.name.c_str());
 
             std::map<double, StreamStat> jitter, delay;
@@ -102,6 +108,48 @@ main(int argc, char **argv)
         }
         t.print(std::cout);
         t.printCsv(std::cout, "rate_class_qos");
+
+        if (opts.percentiles) {
+            // Tail columns the paper's mean-only table hides: CBR
+            // delay percentiles per policy, the stage decomposition
+            // at p99, and — when --cbr-budget is set — the deadline
+            // violation rate and worst excess.
+            Table pt({"policy", "cbr_p50", "cbr_p90", "cbr_p99",
+                      "cbr_p999", "cbr_max", "qos_violation_rate",
+                      "qos_worst_excess_cyc"});
+            for (std::size_t i = 0; i < policies.size(); ++i) {
+                const LatencySummary &s = polResults[i].cbr.latency;
+                const QosCounters &q = polResults[i].cbr.qos;
+                pt.addRow({policies[i].name, Table::num(s.p50, 0),
+                           Table::num(s.p90, 0), Table::num(s.p99, 0),
+                           Table::num(s.p999, 0),
+                           Table::num(s.maxCycles, 0),
+                           Table::num(q.violationRate(), 4),
+                           Table::num(q.worstExcessCycles, 0)});
+            }
+            pt.print(std::cout);
+            pt.printCsv(std::cout, "rate_class_qos_percentiles");
+
+            Table st({"policy", "source_queue_p99", "vc_residency_p99",
+                      "arb_wait_p99", "switch_traversal_p99"});
+            for (std::size_t i = 0; i < policies.size(); ++i) {
+                const auto p99 = [&](LatencyStage stage) {
+                    return Table::num(
+                        polResults[i]
+                            .stageLatency[static_cast<std::size_t>(
+                                stage)]
+                            .p99,
+                        0);
+                };
+                st.addRow({policies[i].name,
+                           p99(LatencyStage::SourceQueue),
+                           p99(LatencyStage::VcResidency),
+                           p99(LatencyStage::ArbWait),
+                           p99(LatencyStage::SwitchTraversal)});
+            }
+            st.print(std::cout);
+            st.printCsv(std::cout, "rate_class_qos_stages");
+        }
 
         // Shape checks: under biasing, the fastest ladder rate gets
         // (a) lower jitter than the slowest and (b) lower jitter than

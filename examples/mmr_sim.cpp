@@ -159,6 +159,11 @@ runRouterMode(const Cli &cli)
     cfg.mix.abortLateFrames = cli.boolean("abort-late");
     cfg.mix.vbrProfile.framesPerSecond = cli.real("fps");
     cfg.mix.vbrProfile.peakToMean = cli.real("peak");
+    cfg.cbrDelayBudget =
+        static_cast<Cycle>(cli.integer("cbr-budget"));
+    cfg.vbrDelayBudget =
+        static_cast<Cycle>(cli.integer("vbr-budget"));
+    cfg.forcePanicAt = static_cast<Cycle>(cli.integer("panic-at"));
     cfg.obs = obsConfigFromCli(cli);
 
     const auto loads = cli.list("load");
@@ -205,6 +210,48 @@ runRouterMode(const Cli &cli)
                              1000.0)});
     t.addRow({"injection rejects", std::to_string(r.injectionRejects)});
     t.print(std::cout);
+
+    if (cli.boolean("percentiles")) {
+        Table pt({"stage_or_class", "count", "p50", "p90", "p99",
+                  "p999", "max"});
+        const auto row = [&](const std::string &name,
+                             const LatencySummary &s) {
+            if (s.count == 0)
+                return;
+            pt.addRow({name, std::to_string(s.count),
+                       Table::num(s.p50, 0), Table::num(s.p90, 0),
+                       Table::num(s.p99, 0), Table::num(s.p999, 0),
+                       Table::num(s.maxCycles, 0)});
+        };
+        for (std::size_t s = 0; s < kNumLatencyStages; ++s)
+            row(std::string("stage:") +
+                    to_string(static_cast<LatencyStage>(s)),
+                r.stageLatency[s]);
+        row("class:cbr", r.cbr.latency);
+        row("class:vbr", r.vbr.latency);
+        row("class:best_effort", r.bestEffort.latency);
+        pt.print(std::cout);
+        pt.printCsv(std::cout, "latency_percentiles");
+
+        if (cfg.cbrDelayBudget || cfg.vbrDelayBudget) {
+            Table qt({"class", "budget_cyc", "flits", "violations",
+                      "violation_rate", "worst_excess_cyc"});
+            const auto qrow = [&](const char *name, Cycle budget,
+                                  const QosCounters &q) {
+                if (budget == 0)
+                    return;
+                qt.addRow({name, Table::num(budget, 0),
+                           std::to_string(q.flits),
+                           std::to_string(q.violations),
+                           Table::num(q.violationRate(), 4),
+                           Table::num(q.worstExcessCycles, 0)});
+            };
+            qrow("cbr", cfg.cbrDelayBudget, r.cbr.qos);
+            qrow("vbr", cfg.vbrDelayBudget, r.vbr.qos);
+            qt.print(std::cout);
+            qt.printCsv(std::cout, "qos_deadlines");
+        }
+    }
     return 0;
 }
 
@@ -365,6 +412,16 @@ main(int argc, char **argv)
         cli.flag("concurrency", "2.0", "VBR concurrency factor");
         cli.flag("be-reserve", "0", "round share reserved for BE");
         cli.flag("abort-late", "false", "abort late video frames");
+        cli.flag("percentiles", "false",
+                 "print per-stage / per-class latency percentile and "
+                 "QoS deadline tables (router mode)");
+        cli.flag("cbr-budget", "0",
+                 "CBR delay budget in flit cycles (0 = off)");
+        cli.flag("vbr-budget", "0",
+                 "VBR delay budget in flit cycles (0 = off)");
+        cli.flag("panic-at", "0",
+                 "force an invariant violation at this cycle to "
+                 "exercise the flight-recorder crash dump (0 = off)");
         // network mode
         cli.flag("topology", "mesh3x3",
                  "meshWxH | torusWxH | ringN | irregularN");

@@ -74,6 +74,7 @@ defaultSink(LogLevel l, const std::string &msg)
 
 LogLevel threshold = levelFromEnv();
 log::SinkFn sink; ///< empty = defaultSink
+log::PanicHookFn panicHook = nullptr;
 
 void
 emit(LogLevel l, const std::string &msg)
@@ -121,6 +122,14 @@ setSink(SinkFn s)
     return prev;
 }
 
+PanicHookFn
+setPanicHook(PanicHookFn hook)
+{
+    PanicHookFn prev = panicHook;
+    panicHook = hook;
+    return prev;
+}
+
 } // namespace log
 
 namespace detail
@@ -131,6 +140,14 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::fflush(stderr);
+    // Give the flight recorder its last gasp, guarding against a
+    // panic raised from inside the hook itself.
+    static thread_local bool inHook = false;
+    if (panicHook != nullptr && !inHook) {
+        inHook = true;
+        panicHook(msg.c_str());
+        inHook = false;
+    }
     std::abort();
 }
 

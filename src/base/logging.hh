@@ -65,6 +65,17 @@ bool enabled(LogLevel l);
  */
 SinkFn setSink(SinkFn sink);
 
+/**
+ * Last-gasp callback invoked by mmr_panic (and therefore mmr_assert
+ * and mmr_invariant_violated) after the message prints but before the
+ * abort — the flight recorder uses it to dump its event ring.  A
+ * plain function pointer, not std::function: the panic path must not
+ * allocate.  Re-entrant panics skip the hook.  Returns the previous
+ * hook.
+ */
+using PanicHookFn = void (*)(const char *msg);
+PanicHookFn setPanicHook(PanicHookFn hook);
+
 } // namespace log
 
 namespace detail

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "base/simclock.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
 #include "sim/invariant.hh"
@@ -69,9 +70,9 @@ RecoveryManager::onFailure(ConnId id, NodeId, NodeId, TrafficClass,
     specs.erase(it); // the failed id is dead; replacement re-adopted
     results[id] = RecoveryStatus{};
     active.push_back(a);
-    MMR_TRACE_INSTANT(TraceCat::Fault, "recovery_start", now,
-                      a.spec.src, id,
-                      static_cast<std::int32_t>(a.spec.dst));
+    MMR_OBS_EVENT(TraceCat::Fault, "recovery_start", now,
+                  a.spec.src, id,
+                  static_cast<std::int32_t>(a.spec.dst));
 }
 
 Cycle
@@ -110,9 +111,10 @@ RecoveryManager::evaluate(Cycle now)
                 ++statRecovered;
                 // Keep the replacement covered against later faults.
                 specs[r->id] = a.spec;
-                MMR_TRACE_INSTANT(TraceCat::Fault, "recovery_rerouted",
-                                  now, a.spec.src, a.origId,
-                                  static_cast<std::int32_t>(r->id));
+                MMR_OBS_EVENT(TraceCat::Fault,
+                              "recovery_rerouted", now, a.spec.src,
+                              a.origId,
+                              static_cast<std::int32_t>(r->id));
                 active.erase(active.begin() +
                              static_cast<std::ptrdiff_t>(i));
                 continue;
@@ -122,10 +124,13 @@ RecoveryManager::evaluate(Cycle now)
                 st.state = RecoveryState::Abandoned;
                 st.attempts = a.attempt;
                 ++statAbandoned;
-                MMR_TRACE_INSTANT(TraceCat::Fault,
-                                  "recovery_abandoned", now,
-                                  a.spec.src, a.origId,
-                                  static_cast<std::int32_t>(a.attempt));
+                MMR_OBS_EVENT(TraceCat::Fault, "recovery_abandoned",
+                              now, a.spec.src, a.origId,
+                              static_cast<std::int32_t>(a.attempt));
+                // Black-box snapshot: an abandonment is the fault
+                // subsystem's terminal failure — dump the events that
+                // led here while they are still in the ring.
+                FlightRecorder::dumpActive("recovery_abandoned");
                 active.erase(active.begin() +
                              static_cast<std::ptrdiff_t>(i));
                 continue;

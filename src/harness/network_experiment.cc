@@ -8,6 +8,7 @@
 #include "base/logging.hh"
 #include "fault/injector.hh"
 #include "network/interface.hh"
+#include "obs/flight_recorder.hh"
 #include "sim/invariant.hh"
 #include "sim/kernel.hh"
 
@@ -118,6 +119,16 @@ runNetworkExperiment(const NetworkExperimentConfig &cfg)
     NetworkConfig ncfg = cfg.net;
     ncfg.seed = cfg.seed;
     Network net(std::move(topo), ncfg);
+    net.endToEnd().setQosBudget(TrafficClass::CBR,
+                                cfg.cbrDelayBudgetCycles);
+
+    // Black box for the fault machinery: a crash or an abandoned
+    // recovery dumps the recent sched/credit/fault events.  A caller
+    // that already installed a recorder (bench front ends) keeps it.
+    FlightRecorder blackBox;
+    const bool ownBlackBox = FlightRecorder::active() == nullptr;
+    if (ownBlackBox)
+        blackBox.activate();
 
     // The fault plan spans the loaded portion of the run by default.
     FaultModel model = cfg.faults;
@@ -192,6 +203,15 @@ runNetworkExperiment(const NetworkExperimentConfig &cfg)
     r.meanJitterCycles = e2e.meanJitterCycles();
     r.p99DelayCycles = e2e.delayPercentile(0.99);
 
+    const QosCounters &q = e2e.qos(TrafficClass::CBR);
+    r.qosFlits = q.flits;
+    r.qosViolations = q.violations;
+    r.qosViolationRate = q.violationRate();
+    r.worstQosExcessCycles = q.worstExcessCycles;
+    r.cbrLatency = e2e.classHistogram(TrafficClass::CBR).summarize();
+    r.linkTransitLatency =
+        e2e.stageHistogram(LatencyStage::LinkTransit).summarize();
+
     for (auto &h : hosts) {
         r.streamsAlive += h->establishedStreams();
         r.injectedFlits += h->injectedFlits();
@@ -227,6 +247,8 @@ runNetworkExperiment(const NetworkExperimentConfig &cfg)
     r.probeTimeouts = net.probes().setupTimeouts();
     r.probeMessagesLost = net.probes().messagesLost();
     r.invariantChecks = checker.checksRun();
+    if (ownBlackBox)
+        blackBox.deactivate();
     return r;
 }
 
@@ -262,6 +284,19 @@ networkResultDigest(const NetworkExperimentResult &r)
     h.addU64(r.connectionsAbandoned);
     h.addU64(r.probeTimeouts);
     h.addU64(r.probeMessagesLost);
+    h.addU64(r.qosFlits);
+    h.addU64(r.qosViolations);
+    h.addDouble(r.qosViolationRate);
+    h.addU64(r.worstQosExcessCycles);
+    for (const LatencySummary *s :
+         {&r.cbrLatency, &r.linkTransitLatency}) {
+        h.addU64(s->count);
+        h.addU64(s->p50);
+        h.addU64(s->p90);
+        h.addU64(s->p99);
+        h.addU64(s->p999);
+        h.addU64(s->maxCycles);
+    }
     h.addU64(r.cycles);
     return h.value();
 }

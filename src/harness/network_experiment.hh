@@ -65,6 +65,14 @@ struct NetworkExperimentConfig
 
     RecoveryConfig recovery;
 
+    /**
+     * End-to-end CBR delay budget in flit cycles (0 = no deadline
+     * accounting): measured flits arriving later count as QoS
+     * violations, reported as a violation rate next to the
+     * acceptance ratio.
+     */
+    Cycle cbrDelayBudgetCycles = 0;
+
     std::uint64_t seed = 42;
     unsigned invariantPeriod = 16;
 };
@@ -105,6 +113,16 @@ struct NetworkExperimentResult
     std::uint64_t connectionsAbandoned = 0;
     std::uint64_t probeTimeouts = 0;
     std::uint64_t probeMessagesLost = 0;
+
+    /** QoS deadline accounting against cbrDelayBudgetCycles. */
+    std::uint64_t qosFlits = 0;
+    std::uint64_t qosViolations = 0;
+    double qosViolationRate = 0.0;
+    Cycle worstQosExcessCycles = 0;
+
+    /** End-to-end CBR delay percentiles and per-hop wire time. */
+    LatencySummary cbrLatency;
+    LatencySummary linkTransitLatency;
 
     std::uint64_t invariantChecks = 0;
     Cycle cycles = 0;

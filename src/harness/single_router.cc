@@ -32,6 +32,10 @@ SingleRouterExperiment::SingleRouterExperiment(const ExperimentConfig &c)
     rc.seed = cfg.seed ^ 0x5eedf00dULL;
     dut = std::make_unique<MmrRouter>(rc, &recorder);
 
+    recorder.setQosBudget(TrafficClass::CBR, cfg.cbrDelayBudget);
+    recorder.setQosBudget(TrafficClass::VBR, cfg.vbrDelayBudget);
+    recorder.setQosBudget(TrafficClass::BestEffort, cfg.beDelayBudget);
+
     // Frame-deadline accounting for VBR flits: the injection path
     // stamps each flit with its frame's deadline (Flit::arg); a flit
     // leaving the switch later than that is a miss (§4.3).  Flits the
@@ -261,6 +265,11 @@ SingleRouterExperiment::pollStream(std::size_t idx, Cycle now)
 namespace
 {
 
+/** JSON/stats-registry keys for the traffic classes (to_string's
+ * human forms — "best-effort" — make poor identifiers). */
+constexpr const char *kClassKeys[kNumTrafficClasses] = {
+    "cbr", "vbr", "best_effort", "control"};
+
 /** First integer cycle at which a source with fractional due time
  * `due` can fire, never earlier than `floor_cycle`.  A source that
  * reports 0.0 (the opt-out default) lands on `floor_cycle` and is
@@ -376,6 +385,78 @@ SingleRouterExperiment::run()
         obs.registry().addGauge("harness.mean_delay_cycles", [this] {
             return recorder.meanDelayCycles();
         });
+
+        // Latency-decomposition and QoS gauges: probes read the live
+        // histograms, so the sampler's series and the final registry
+        // dump both carry the percentiles.
+        for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+            const auto stage = static_cast<LatencyStage>(s);
+            const std::string base =
+                std::string("latency.") + to_string(stage) + ".";
+            for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+                std::string key = base + "p" +
+                                  (p == 99.9 ? "999"
+                                             : std::to_string(
+                                                   static_cast<int>(p)));
+                obs.registry().addGauge(key, [this, stage, p] {
+                    return static_cast<double>(
+                        recorder.stageHistogram(stage).percentile(p));
+                });
+            }
+        }
+        for (std::size_t k = 0; k < kNumTrafficClasses; ++k) {
+            const auto klass = static_cast<TrafficClass>(k);
+            const std::string base =
+                std::string("latency.class.") + kClassKeys[k] + ".";
+            for (const double p : {50.0, 99.0, 99.9}) {
+                std::string key = base + "p" +
+                                  (p == 99.9 ? "999"
+                                             : std::to_string(
+                                                   static_cast<int>(p)));
+                obs.registry().addGauge(key, [this, klass, p] {
+                    return static_cast<double>(
+                        recorder.classHistogram(klass).percentile(p));
+                });
+            }
+            obs.registry().addGauge(
+                std::string("qos.") + kClassKeys[k] + ".violations",
+                [this, klass] {
+                    return static_cast<double>(
+                        recorder.qos(klass).violations);
+                });
+            obs.registry().addGauge(
+                std::string("qos.") + kClassKeys[k] +
+                    ".violation_rate",
+                [this, klass] {
+                    return recorder.qos(klass).violationRate();
+                });
+        }
+
+        // Full distributions land under "histograms" in --stats-json.
+        obs.setHistogramDump([this](std::ostream &os) {
+            os << "{\"stage\":{";
+            for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+                if (s)
+                    os << ",";
+                os << "\""
+                   << to_string(static_cast<LatencyStage>(s))
+                   << "\":";
+                recorder
+                    .stageHistogram(static_cast<LatencyStage>(s))
+                    .writeJson(os);
+            }
+            os << "},\"class\":{";
+            for (std::size_t k = 0; k < kNumTrafficClasses; ++k) {
+                if (k)
+                    os << ",";
+                os << "\"" << kClassKeys[k] << "\":";
+                recorder
+                    .classHistogram(static_cast<TrafficClass>(k))
+                    .writeJson(os);
+            }
+            os << "}}";
+        });
+
         obs.attach(kernel);
     }
 
@@ -410,6 +491,11 @@ SingleRouterExperiment::run()
     recorder.startMeasurement(warmup);
     const Cycle total = warmup + cfg.measureCycles;
     while (kernel.now() < total) {
+        if (cfg.forcePanicAt != 0 && kernel.now() >= cfg.forcePanicAt)
+            mmr_invariant_violated(
+                "forced-panic", "deliberate invariant violation at "
+                                "cycle ",
+                kernel.now(), " (ExperimentConfig::forcePanicAt)");
         injectArrivals(kernel.now());
         kernel.step();
     }
@@ -438,6 +524,21 @@ SingleRouterExperiment::run()
     r.flitsDelivered = recorder.measuredFlits();
     r.injectionRejects = dut->injectionRejects();
     r.abortedFlits = abortedFlitCount;
+
+    for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+        r.stageHist[s] =
+            recorder.stageHistogram(static_cast<LatencyStage>(s));
+        r.stageLatency[s] = r.stageHist[s].summarize();
+    }
+    const auto harvestClass = [this](ClassResult &cls,
+                                     TrafficClass klass) {
+        cls.qos = recorder.qos(klass);
+        cls.delayHist = recorder.classHistogram(klass);
+        cls.latency = cls.delayHist.summarize();
+    };
+    harvestClass(r.cbr, TrafficClass::CBR);
+    harvestClass(r.vbr, TrafficClass::VBR);
+    harvestClass(r.bestEffort, TrafficClass::BestEffort);
 
     for (const Stream &s : streams) {
         const ConnectionRecorder *rec = recorder.connection(s.conn);
@@ -514,6 +615,27 @@ class Fnv1a
 };
 
 void
+digestHistogram(Fnv1a &h, const LatencyHistogram &hist)
+{
+    h.addU64(hist.count());
+    h.addU64(hist.minValue());
+    h.addU64(hist.maxValue());
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i)
+        h.addU64(hist.bucketCount(i));
+}
+
+void
+digestSummary(Fnv1a &h, const LatencySummary &s)
+{
+    h.addU64(s.count);
+    h.addU64(s.p50);
+    h.addU64(s.p90);
+    h.addU64(s.p99);
+    h.addU64(s.p999);
+    h.addU64(s.maxCycles);
+}
+
+void
 digestClass(Fnv1a &h, const ClassResult &c)
 {
     h.addU64(c.flits);
@@ -524,6 +646,12 @@ digestClass(Fnv1a &h, const ClassResult &c)
     h.addDouble(c.delayCycles.max());
     h.addU64(c.jitterCycles.count());
     h.addDouble(c.jitterCycles.mean());
+    h.addU64(c.qos.budgetCycles);
+    h.addU64(c.qos.flits);
+    h.addU64(c.qos.violations);
+    h.addU64(c.qos.worstExcessCycles);
+    digestSummary(h, c.latency);
+    digestHistogram(h, c.delayHist);
 }
 
 } // namespace
@@ -547,6 +675,10 @@ resultDigest(const ExperimentResult &r)
     digestClass(h, r.cbr);
     digestClass(h, r.vbr);
     digestClass(h, r.bestEffort);
+    for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+        digestSummary(h, r.stageLatency[s]);
+        digestHistogram(h, r.stageHist[s]);
+    }
     h.addDouble(r.flitCycleNanos);
     return h.value();
 }

@@ -81,6 +81,21 @@ struct ExperimentConfig
     /** Observability outputs (tracing, sampling, profiling); the
      * default is fully off and costs nothing. */
     ObsConfig obs;
+
+    /**
+     * Per-class switch-delay budgets in flit cycles (0 = no deadline
+     * accounting for that class).  A measured flit whose delay
+     * exceeds its class budget counts as a QoS violation (§4.3's
+     * deadline argument made measurable).
+     */
+    Cycle cbrDelayBudget = 0;
+    Cycle vbrDelayBudget = 0;
+    Cycle beDelayBudget = 0;
+
+    /** Deliberately trip an invariant at this cycle (0 = never).
+     * Exercises the flight recorder's crash dump end to end; used by
+     * the CI observability-smoke job, never by real experiments. */
+    Cycle forcePanicAt = 0;
 };
 
 /** Per-service-class aggregate results. */
@@ -94,6 +109,13 @@ struct ClassResult
      * it leaves the switch after its frame's slot has ended. */
     std::uint64_t deadlineMisses = 0;
     std::uint64_t deadlineTotal = 0;
+
+    /** QoS budget accounting (ExperimentConfig::*DelayBudget). */
+    QosCounters qos;
+
+    /** Full switch-delay distribution + its percentile digest. */
+    LatencyHistogram delayHist;
+    LatencySummary latency;
 
     double
     deadlineMissRate() const
@@ -125,6 +147,16 @@ struct ExperimentResult
     ClassResult cbr;
     ClassResult vbr;
     ClassResult bestEffort;
+
+    /**
+     * Stage latency decomposition: where a flit's switch delay went
+     * (source queue, VC residency, arbitration, switch traversal;
+     * LinkTransit stays empty in single-router mode).  Histograms are
+     * carried whole so sweep shards can be merged bit-identically;
+     * summaries are the derived percentile digests.
+     */
+    LatencyHistogram stageHist[kNumLatencyStages];
+    LatencySummary stageLatency[kNumLatencyStages];
 
     double flitCycleNanos = 0.0;
 

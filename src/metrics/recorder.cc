@@ -52,12 +52,59 @@ MetricsRecorder::lookup(ConnId conn) const
 
 void
 MetricsRecorder::recordDeparture(ConnId conn, Cycle now,
-                                 double delay_cycles)
+                                 double delay_cycles,
+                                 TrafficClass klass,
+                                 const StageSample *stages)
 {
     const bool measured = measuring(now);
     slot(conn).record(delay_cycles, measured);
-    if (measured)
-        delaySketch.add(delay_cycles);
+    if (!measured)
+        return;
+    delaySketch.add(delay_cycles);
+
+    const auto k = static_cast<std::size_t>(klass);
+    const auto delay = static_cast<std::uint64_t>(
+        delay_cycles > 0.0 ? delay_cycles : 0.0);
+    classDelayHist[k].record(delay);
+
+    QosCounters &q = qosByClass[k];
+    if (q.budgetCycles > 0) {
+        ++q.flits;
+        if (delay > q.budgetCycles) {
+            ++q.violations;
+            const Cycle excess = delay - q.budgetCycles;
+            if (excess > q.worstExcessCycles)
+                q.worstExcessCycles = excess;
+        }
+    }
+
+    if (stages != nullptr) {
+        stageHist[static_cast<std::size_t>(LatencyStage::SourceQueue)]
+            .record(stages->sourceQueue);
+        stageHist[static_cast<std::size_t>(LatencyStage::VcResidency)]
+            .record(stages->vcResidency);
+        stageHist[static_cast<std::size_t>(LatencyStage::ArbWait)]
+            .record(stages->arbWait);
+        stageHist[static_cast<std::size_t>(
+                      LatencyStage::SwitchTraversal)]
+            .record(stages->switchTraversal);
+    }
+}
+
+void
+MetricsRecorder::recordLinkTransit(Cycle transit_cycles, Cycle now)
+{
+    if (!measuring(now))
+        return;
+    stageHist[static_cast<std::size_t>(LatencyStage::LinkTransit)]
+        .record(transit_cycles);
+}
+
+void
+MetricsRecorder::setQosBudget(TrafficClass klass, Cycle budget_cycles)
+{
+    qosByClass[static_cast<std::size_t>(klass)].budgetCycles =
+        budget_cycles;
 }
 
 void

@@ -20,6 +20,8 @@
 
 #include "base/stats.hh"
 #include "base/types.hh"
+#include "obs/histogram.hh"
+#include "traffic/rates.hh"
 
 namespace mmr
 {
@@ -51,6 +53,29 @@ class ConnectionRecorder
     std::uint64_t flits = 0;
 };
 
+/**
+ * Per-class QoS deadline accounting: every measured flit of a class
+ * with a configured delay budget is checked against it, counting
+ * violations and the worst excess (§4.3's deadline argument made
+ * measurable — the violation *rate* is the figure of merit reported
+ * next to the acceptance ratio).
+ */
+struct QosCounters
+{
+    Cycle budgetCycles = 0;       ///< 0 = no deadline configured
+    std::uint64_t flits = 0;      ///< measured flits checked
+    std::uint64_t violations = 0; ///< flits with delay > budget
+    Cycle worstExcessCycles = 0;  ///< max(delay - budget) over flits
+
+    double
+    violationRate() const
+    {
+        return flits ? static_cast<double>(violations) /
+                           static_cast<double>(flits)
+                     : 0.0;
+    }
+};
+
 /** Whole-experiment aggregation across connections. */
 class MetricsRecorder
 {
@@ -59,7 +84,36 @@ class MetricsRecorder
     void startMeasurement(Cycle now) { measureStart = now; }
     bool measuring(Cycle now) const { return now >= measureStart; }
 
-    void recordDeparture(ConnId conn, Cycle now, double delay_cycles);
+    /**
+     * Record one flit leaving the switch.  @p klass selects the
+     * per-class delay histogram and QoS budget; @p stages, when
+     * non-null, feeds the per-stage latency decomposition (the
+     * router's apply path passes both, legacy callers neither).
+     */
+    void recordDeparture(ConnId conn, Cycle now, double delay_cycles,
+                         TrafficClass klass = TrafficClass::BestEffort,
+                         const StageSample *stages = nullptr);
+
+    /** One link hop's wire time (network mode; feeds LinkTransit). */
+    void recordLinkTransit(Cycle transit_cycles, Cycle now);
+
+    /** Arm the per-class delay deadline; 0 disables the accounting. */
+    void setQosBudget(TrafficClass klass, Cycle budget_cycles);
+    const QosCounters &qos(TrafficClass klass) const
+    {
+        return qosByClass[static_cast<std::size_t>(klass)];
+    }
+
+    const LatencyHistogram &stageHistogram(LatencyStage s) const
+    {
+        return stageHist[static_cast<std::size_t>(s)];
+    }
+
+    /** Total switch-delay distribution of one traffic class. */
+    const LatencyHistogram &classHistogram(TrafficClass k) const
+    {
+        return classDelayHist[static_cast<std::size_t>(k)];
+    }
 
     /** One switch output port opportunity: used or idle this cycle. */
     void recordOutputSlot(bool used, Cycle now);
@@ -107,6 +161,12 @@ class MetricsRecorder
     RatioStat outputSlots;
     PercentileSketch delaySketch;
     Cycle measureStart = 0;
+
+    /** Fixed-footprint distribution state (see obs/histogram.hh):
+     * always on — recording is a few integer ops per flit. */
+    LatencyHistogram stageHist[kNumLatencyStages];
+    LatencyHistogram classDelayHist[kNumTrafficClasses];
+    QosCounters qosByClass[kNumTrafficClasses];
 };
 
 } // namespace mmr

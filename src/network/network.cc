@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "base/simclock.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/trace.hh"
 #include "sim/invariant.hh"
 #include "traffic/rates.hh"
@@ -127,15 +128,15 @@ Network::failLink(NodeId a, NodeId b)
         conn.failed = true;
         conn.closing = true;
         ++statConnsFailed;
-        MMR_TRACE_INSTANT(TraceCat::Fault, "conn_failed",
-                          simclock::now(), conn.src, id,
-                          static_cast<std::int32_t>(conn.dst));
+        MMR_OBS_EVENT(TraceCat::Fault, "conn_failed",
+                      simclock::now(), conn.src, id,
+                      static_cast<std::int32_t>(conn.dst));
         if (connFailHook)
             connFailHook(id, conn.src, conn.dst, conn.klass);
     }
 
-    MMR_TRACE_INSTANT(TraceCat::Fault, "link_down", simclock::now(), a,
-                      kInvalidConn, static_cast<std::int32_t>(b));
+    MMR_OBS_EVENT(TraceCat::Fault, "link_down", simclock::now(), a,
+                  kInvalidConn, static_cast<std::int32_t>(b));
     rebuildRouting();
     return true;
 }
@@ -149,8 +150,8 @@ Network::repairLink(NodeId a, NodeId b)
         return false;
     linkDown[a][pa] = false;
     linkDown[b][pb] = false;
-    MMR_TRACE_INSTANT(TraceCat::Fault, "link_up", simclock::now(), a,
-                      kInvalidConn, static_cast<std::int32_t>(b));
+    MMR_OBS_EVENT(TraceCat::Fault, "link_up", simclock::now(), a,
+                  kInvalidConn, static_cast<std::int32_t>(b));
     rebuildRouting();
     return true;
 }
@@ -253,14 +254,15 @@ void
 Network::deliverToHost(NodeId n, const Flit &f, Cycle now)
 {
     ++statDelivered;
-    MMR_TRACE_INSTANT(TraceCat::Flit, "e2e_deliver", now, n, f.conn,
-                      static_cast<std::int32_t>(f.src),
-                      static_cast<std::int32_t>(now - f.createTime));
+    MMR_OBS_EVENT(TraceCat::Flit, "e2e_deliver", now, n, f.conn,
+                  static_cast<std::int32_t>(f.src),
+                  static_cast<std::int32_t>(now - f.createTime));
     if (f.klass == TrafficClass::BestEffort ||
         f.klass == TrafficClass::Control)
         ++statDatagramsDone;
     e2e.recordDeparture(f.conn, now,
-                        static_cast<double>(now - f.createTime));
+                        static_cast<double>(now - f.createTime),
+                        f.klass);
 }
 
 // ---------------------------------------------------------------------
@@ -808,13 +810,17 @@ Network::processArrivals(Cycle now)
             routers[upstream]->credits().replenish(up_port, lf.vc);
             if (!lf.flit.isStream())
                 routers[upstream]->routing().freeOutputVc(up_port, lf.vc);
-            MMR_TRACE_INSTANT(TraceCat::Fault, "crc_drop", now,
-                              lf.toNode, lf.flit.conn,
-                              static_cast<std::int32_t>(lf.flit.src));
+            MMR_OBS_EVENT(TraceCat::Fault, "crc_drop", now,
+                          lf.toNode, lf.flit.conn,
+                          static_cast<std::int32_t>(lf.flit.src));
             continue;
         }
         Flit f = lf.flit;
         f.readyTime = now;
+        // Wire time of this hop (latency plus any cycles spent parked
+        // behind same-cycle arrivals): the LinkTransit latency stage.
+        e2e.recordLinkTransit(cfg.linkLatency + (now - lf.arriveAt),
+                              now);
         if (f.isStream()) {
             if (!routers[lf.toNode]->injectRaw(lf.toPort, lf.vc, f))
                 ++statInjectRejects;

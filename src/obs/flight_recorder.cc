@@ -1,0 +1,131 @@
+#include "obs/flight_recorder.hh"
+
+#include <bit>
+#include <fstream>
+#include <ostream>
+
+#include "base/logging.hh"
+
+namespace mmr
+{
+
+thread_local FlightRecorder *FlightRecorder::current = nullptr;
+
+namespace
+{
+
+/** mmr_panic hook: dump the panicking thread's black box before the
+ * abort.  Installed once, on the first activate(); reads only
+ * thread-local state, so concurrent sweep workers dump their own
+ * rings. */
+void
+panicDumpHook(const char *)
+{
+    FlightRecorder::dumpActive("panic");
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+{
+    if (capacity < 2)
+        capacity = 2;
+    ring.resize(std::bit_ceil(capacity) / 2);
+    mask = ring.size() * 2 - 1;
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    deactivate();
+}
+
+void
+FlightRecorder::activate()
+{
+    mmr_assert(current == nullptr || current == this,
+               "another flight recorder is already active "
+               "on this thread");
+    current = this;
+    log::setPanicHook(&panicDumpHook);
+}
+
+void
+FlightRecorder::deactivate()
+{
+    if (current == this)
+        current = nullptr;
+}
+
+std::size_t
+FlightRecorder::stored() const
+{
+    return head < capacity() ? static_cast<std::size_t>(head)
+                             : capacity();
+}
+
+const FlightRecorder::Event &
+FlightRecorder::oldest() const
+{
+    mmr_assert(head > 0, "flight recorder is empty");
+    const std::uint64_t first =
+        head <= capacity() ? 0 : head - capacity();
+    return eventAt(first);
+}
+
+void
+FlightRecorder::writeChromeJson(std::ostream &os,
+                                const char *reason) const
+{
+    const std::uint64_t kept = stored();
+    const std::uint64_t first = head - kept;
+    os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{"
+       << "\"reason\":\"" << (reason ? reason : "unknown")
+       << "\",\"recorded\":" << head << ",\"retained\":" << kept
+       << "},\"traceEvents\":[";
+    for (std::uint64_t i = first; i < head; ++i) {
+        const Event &e = eventAt(i);
+        if (i != first)
+            os << ",\n";
+        os << "{\"name\":\"" << e.name << "\",\"ph\":\"i\",\"ts\":"
+           << e.cycle << ",\"pid\":1,\"tid\":" << e.lane
+           << ",\"s\":\"t\",\"cat\":\"" << to_string(e.cat)
+           << "\",\"args\":{";
+        bool sep = false;
+        if (e.conn != kInvalidConn) {
+            os << "\"conn\":" << e.conn;
+            sep = true;
+        }
+        if (e.a0 >= 0) {
+            os << (sep ? "," : "") << "\"a0\":" << e.a0;
+            sep = true;
+        }
+        if (e.a1 >= 0)
+            os << (sep ? "," : "") << "\"a1\":" << e.a1;
+        os << "}}";
+    }
+    os << "]}\n";
+}
+
+bool
+FlightRecorder::dumpTo(const std::string &path,
+                       const char *reason) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        mmr_warn("flight recorder: cannot write '", path, "'");
+        return false;
+    }
+    writeChromeJson(os, reason);
+    return os.good();
+}
+
+bool
+FlightRecorder::dumpActive(const char *reason)
+{
+    FlightRecorder *fr = current;
+    if (fr == nullptr)
+        return false;
+    return fr->dumpTo(fr->dumpFile, reason);
+}
+
+} // namespace mmr

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Crash flight recorder: a fixed-size ring of the most recent
+ * scheduler / flit / credit / fault events, always on, that dumps a
+ * Chrome trace-event snapshot when the simulator dies.
+ *
+ * The Tracer answers "what happened during this run I chose to
+ * instrument"; the flight recorder answers "what were the last few
+ * thousand events before the panic I did not see coming".  PR 4's
+ * fault subsystem can abandon a recovery or trip an invariant deep
+ * into a randomized schedule — without a black box the post-mortem
+ * starts from a stack trace and a seed.  With one, the dump shows the
+ * grants, credits and fault events leading up to the failure, in
+ * Perfetto, with no re-run needed.
+ *
+ * Design constraints, in order: (1) the push must be legal under
+ * MMR_HOT_PATH — the ring is preallocated at construction and note()
+ * is a masked store plus an increment, no branches beyond the
+ * is-active check shared with the Tracer macros; (2) dumping must
+ * work from a panic handler — writeChromeJson touches only the ring
+ * and a FILE*, never the allocator-heavy Tracer path; (3) recorders
+ * are thread-local like Tracer::current, so parallel sweep workers
+ * each keep their own black box.
+ *
+ * Dump triggers: mmr_panic (and therefore mmr_invariant_violated and
+ * mmr_assert) via the log::setPanicHook hook installed on first
+ * activate(), RecoveryManager abandonment, and an explicit
+ * --flight-recorder-dump=PATH end-of-run dump.
+ */
+
+#ifndef MMR_OBS_FLIGHT_RECORDER_HH
+#define MMR_OBS_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "base/types.hh"
+#include "obs/trace.hh"
+
+namespace mmr
+{
+
+class FlightRecorder
+{
+  public:
+    /** One recorded event; mirrors Tracer's record so both can be fed
+     * from the same instrumentation site.  Packed to 32 bytes: the
+     * ring is written ~20 times per simulated cycle, so its footprint
+     * competes directly with the VC arrays for L2 (lane is a port
+     * index, never near 2^16).  */
+    struct alignas(32) Event
+    {
+        Cycle cycle;
+        const char *name; ///< static string, not copied
+        ConnId conn;
+        std::int32_t a0;
+        std::int32_t a1;
+        std::uint16_t lane;
+        TraceCat cat;
+    };
+    static_assert(sizeof(Event) == 32,
+                  "flight-recorder events must stay cache-compact");
+
+    /** One cache line of events: the ring's storage granule, and the
+     * staging buffer note() fills before committing a whole line. */
+    struct alignas(64) EventPair
+    {
+        Event e[2];
+    };
+
+    /** Default ring depth.  2048 events (~64KB) still spans the last
+     * ~100 cycles of an 8-port run while leaving L2 to the simulator
+     * proper; a deeper post-mortem window is one CLI flag away
+     * (--flight-recorder-depth). */
+    static constexpr std::size_t kDefaultCapacity = 1u << 11;
+
+    /** @param capacity ring depth; rounded up to a power of two. */
+    explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+    ~FlightRecorder();
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** The calling thread's installed recorder; nullptr = none. */
+    static FlightRecorder *active() { return current; }
+
+    /** Fast-path test used by MMR_OBS_EVENT. */
+    static bool wants() { return current != nullptr; }
+
+    /** wants() plus the active recorder's category filter. */
+    static bool
+    wantsCat(TraceCat c)
+    {
+        return current != nullptr &&
+               ((current->catMask >> static_cast<unsigned>(c)) & 1u) !=
+                   0;
+    }
+
+    /** Restrict recording to the categories in @p mask (bit index =
+     * TraceCat value).  A fresh recorder accepts everything; the CLI
+     * session narrows this to the low-volume forensic categories. */
+    void setCategoryMask(std::uint32_t mask) { catMask = mask; }
+    std::uint32_t categoryMask() const { return catMask; }
+
+    /** Install as this thread's recorder and hook mmr_panic so a
+     * crash dumps the ring (at most one active per thread). */
+    void activate();
+
+    /** Uninstall (also done by the destructor). */
+    void deactivate();
+
+    /** Where crash dumps land; default "mmr-flight.json" in cwd. */
+    void setDumpPath(const std::string &path) { dumpFile = path; }
+    const std::string &dumpPath() const { return dumpFile; }
+
+    /**
+     * Allocation-free ring push: a store into the always-hot staging
+     * line plus, every second event, one full-cache-line commit into
+     * the ring.  The ring is write-only until a post-mortem dump, so
+     * on x86 the commit uses non-temporal stores — a complete 64-byte
+     * line written back-to-back drains the write-combining buffer in
+     * a single burst, costing the simulator no L1/L2 residency and no
+     * read-for-ownership traffic.  (Streaming each 32-byte event on
+     * its own would flush the WC buffer half-full every time and is
+     * slower than plain stores; the pairwise staging is what makes
+     * the always-on recorder affordable.)
+     */
+    MMR_HOT_PATH void
+    note(TraceCat cat, const char *name, Cycle now, std::uint32_t lane,
+         ConnId conn, std::int32_t a0 = -1, std::int32_t a1 = -1)
+    {
+        Event &e = staged.e[static_cast<std::size_t>(head) & 1];
+        e.cycle = now;
+        e.name = name;
+        e.conn = conn;
+        e.a0 = a0;
+        e.a1 = a1;
+        e.lane = static_cast<std::uint16_t>(lane);
+        e.cat = cat;
+        if (head & 1) {
+            EventPair &line =
+                ring[(static_cast<std::size_t>(head) & mask) >> 1];
+#if defined(__SSE2__)
+            const auto *src =
+                reinterpret_cast<const __m128i *>(&staged);
+            auto *dst = reinterpret_cast<__m128i *>(&line);
+            _mm_stream_si128(dst + 0, _mm_load_si128(src + 0));
+            _mm_stream_si128(dst + 1, _mm_load_si128(src + 1));
+            _mm_stream_si128(dst + 2, _mm_load_si128(src + 2));
+            _mm_stream_si128(dst + 3, _mm_load_si128(src + 3));
+#else
+            line = staged;
+#endif
+        }
+        ++head;
+    }
+
+    /** Events ever pushed (>= stored() once the ring wraps). */
+    std::uint64_t recorded() const { return head; }
+
+    /** Events currently held (min(recorded, capacity)). */
+    std::size_t stored() const;
+
+    std::size_t capacity() const { return ring.size() * 2; }
+
+    /** Oldest retained event (valid when stored() > 0). */
+    const Event &oldest() const;
+
+    /**
+     * Serialize the retained window, oldest first, as Chrome
+     * trace-event JSON.  @p reason lands in the metadata so a dump
+     * says why it exists ("panic", "recovery_abandoned", ...).
+     */
+    void writeChromeJson(std::ostream &os, const char *reason) const;
+
+    /** writeChromeJson to @p path; false (with a warning) on I/O
+     * failure.  Safe to call from the panic path. */
+    bool dumpTo(const std::string &path, const char *reason) const;
+
+    /**
+     * Dump the calling thread's active recorder to its dump path.
+     * No-op (returns false) when no recorder is active; used by the
+     * panic hook and the RecoveryManager abandonment path.
+     */
+    static bool dumpActive(const char *reason);
+
+  private:
+    /** Event @p idx (< head), wherever it currently lives: the most
+     * recent event sits in the staging line until its pair-mate
+     * completes the cache line and both are committed to the ring. */
+    const Event &
+    eventAt(std::uint64_t idx) const
+    {
+        if ((head & 1) != 0 && idx == head - 1)
+            return staged.e[0];
+        const std::size_t slot = static_cast<std::size_t>(idx) & mask;
+        return ring[slot >> 1].e[slot & 1];
+    }
+
+    static thread_local FlightRecorder *current;
+
+    std::vector<EventPair> ring; ///< preallocated, power-of-two lines
+    std::size_t mask;            ///< event-index mask (capacity - 1)
+    std::uint32_t catMask = ~0u; ///< accepted TraceCat bits
+    std::uint64_t head = 0;
+    EventPair staged{};          ///< L1-hot line under construction
+    std::string dumpFile = "mmr-flight.json";
+};
+
+} // namespace mmr
+
+// ---------------------------------------------------------------------
+// Combined instrumentation: one is-active branch per layer.  Hot sites
+// that should survive into a crash dump use MMR_OBS_EVENT instead of
+// MMR_TRACE_INSTANT; the tracer half still compiles out under
+// -DMMR_TRACING_ENABLED=0 while the flight recorder stays available.
+// ---------------------------------------------------------------------
+
+#define MMR_OBS_EVENT(cat, name, now, lane, conn, ...) \
+    do { \
+        if (::mmr::FlightRecorder::wantsCat(cat)) { \
+            ::mmr::FlightRecorder::active()->note( \
+                cat, name, now, lane, conn, ##__VA_ARGS__); \
+        } \
+        MMR_TRACE_INSTANT(cat, name, now, lane, conn, ##__VA_ARGS__); \
+    } while (0)
+
+#endif // MMR_OBS_FLIGHT_RECORDER_HH

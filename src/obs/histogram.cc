@@ -1,0 +1,149 @@
+#include "obs/histogram.hh"
+
+#include <cmath>
+#include <ostream>
+
+namespace mmr
+{
+
+const char *
+to_string(LatencyStage s)
+{
+    switch (s) {
+      case LatencyStage::SourceQueue:
+        return "source_queue";
+      case LatencyStage::VcResidency:
+        return "vc_residency";
+      case LatencyStage::ArbWait:
+        return "arb_wait";
+      case LatencyStage::SwitchTraversal:
+        return "switch_traversal";
+      case LatencyStage::LinkTransit:
+        return "link_transit";
+      case LatencyStage::NumStages:
+        break;
+    }
+    return "?";
+}
+
+std::uint64_t
+LatencyHistogram::bucketLowerBound(std::size_t index)
+{
+    if (index < kSubBuckets)
+        return index;
+    const auto major = static_cast<unsigned>(index / kSubBuckets);
+    const auto sub = static_cast<unsigned>(index % kSubBuckets);
+    // Inverse of bucketIndex: major m >= 1 covers values with msb
+    // (m + kSubBits - 1); the sub-bucket supplies the next kSubBits.
+    const unsigned msb = major + kSubBits - 1;
+    return (1ULL << msb) |
+           (static_cast<std::uint64_t>(sub) << (msb - kSubBits));
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        counts[i] += other.counts[i];
+    total += other.total;
+    if (other.total) {
+        if (other.maxSeen > maxSeen)
+            maxSeen = other.maxSeen;
+        if (other.minSeen < minSeen)
+            minSeen = other.minSeen;
+    }
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (std::uint64_t &c : counts)
+        c = 0;
+    total = 0;
+    maxSeen = 0;
+    minSeen = ~0ULL;
+}
+
+std::uint64_t
+LatencyHistogram::percentile(double p) const
+{
+    if (total == 0)
+        return 0;
+    if (p >= 100.0)
+        return maxSeen;
+    if (p < 0.0)
+        p = 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total)));
+    const std::uint64_t want = target == 0 ? 1 : target;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        cum += counts[i];
+        if (cum >= want) {
+            // Never report a tail beyond the recorded maximum.
+            const std::uint64_t low = bucketLowerBound(i);
+            return low > maxSeen ? maxSeen : low;
+        }
+    }
+    return maxSeen;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    if (total == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        if (counts[i])
+            sum += static_cast<double>(counts[i]) *
+                   static_cast<double>(bucketLowerBound(i));
+    return sum / static_cast<double>(total);
+}
+
+LatencySummary
+LatencyHistogram::summarize() const
+{
+    LatencySummary s;
+    s.count = total;
+    s.p50 = percentile(50.0);
+    s.p90 = percentile(90.0);
+    s.p99 = percentile(99.0);
+    s.p999 = percentile(99.9);
+    s.maxCycles = maxValue();
+    return s;
+}
+
+bool
+LatencyHistogram::identical(const LatencyHistogram &other) const
+{
+    if (total != other.total || maxSeen != other.maxSeen ||
+        minSeen != other.minSeen)
+        return false;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        if (counts[i] != other.counts[i])
+            return false;
+    return true;
+}
+
+void
+LatencyHistogram::writeJson(std::ostream &os) const
+{
+    os << "{\"count\":" << total << ",\"min\":" << minValue()
+       << ",\"max\":" << maxValue() << ",\"p50\":" << percentile(50.0)
+       << ",\"p90\":" << percentile(90.0)
+       << ",\"p99\":" << percentile(99.0)
+       << ",\"p999\":" << percentile(99.9) << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (counts[i] == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "[" << bucketLowerBound(i) << "," << counts[i] << "]";
+    }
+    os << "]}";
+}
+
+} // namespace mmr

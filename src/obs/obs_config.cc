@@ -7,12 +7,28 @@
 namespace mmr
 {
 
-ObsSession::ObsSession(const ObsConfig &c) : cfg(c) {}
+ObsSession::ObsSession(const ObsConfig &c) : cfg(c)
+{
+    // The flight recorder is always on — the runs that crash are the
+    // runs nobody thought to instrument.  A nested session (a harness
+    // run inside a front end that already activated one) records into
+    // the outer black box instead of fighting over the thread slot.
+    flight = std::make_unique<FlightRecorder>(cfg.flightRecorderDepth);
+    flight->setCategoryMask(
+        traceCatMaskFromString(cfg.flightRecorderCats));
+    if (!cfg.flightRecorderPath.empty())
+        flight->setDumpPath(cfg.flightRecorderPath);
+    if (FlightRecorder::active() == nullptr) {
+        flight->activate();
+        ownsFlightActivation = true;
+    }
+}
 
 ObsSession::~ObsSession()
 {
     // Deliberately no auto-finish: writing files is an explicit act
-    // (the caller knows the final cycle); the tracer detaches itself.
+    // (the caller knows the final cycle); the tracer detaches itself
+    // and the flight recorder deactivates with its destructor.
 }
 
 void
@@ -52,9 +68,18 @@ ObsSession::attach(Kernel &kernel)
 void
 ObsSession::finish(Cycle now)
 {
-    if (finished || !cfg.enabled())
+    if (finished)
         return;
     finished = true;
+
+    if (ownsFlightActivation) {
+        if (!cfg.flightRecorderPath.empty())
+            flight->dumpTo(cfg.flightRecorderPath, "end_of_run");
+        flight->deactivate();
+    }
+
+    if (!cfg.enabled())
+        return;
 
     if (sampl != nullptr) {
         // Cover the tail: the last sample may predate the final cycle.
@@ -78,6 +103,11 @@ ObsSession::finish(Cycle now)
                       "'");
         os << "{\n\"final\": ";
         stats.dumpJson(os);
+        os << ",\n\"histograms\": ";
+        if (histDump)
+            histDump(os);
+        else
+            os << "null";
         os << ",\n\"series\": ";
         if (sampl != nullptr)
             sampl->dumpJson(os);
@@ -123,6 +153,15 @@ addObsFlags(Cli &cli)
              "register per-VC occupancy gauges (wide output)");
     cli.flag("profile", "0",
              "attribute wall time to kernel components");
+    cli.flag("flight-recorder-dump", "",
+             "also dump the crash flight recorder at end of run "
+             "(crash dumps are always on)");
+    cli.flag("flight-recorder-depth", "2048",
+             "flight-recorder ring depth in events (power of two)");
+    cli.flag("flight-recorder-cats",
+             "sched,admission,setup,control,fault",
+             "categories the crash recorder keeps ('all' adds the "
+             "high-volume flit/credit streams)");
 }
 
 ObsConfig
@@ -142,6 +181,11 @@ obsConfigFromCli(const Cli &cli)
     c.sampleStats = cli.list("sample-stats");
     c.perVcStats = cli.boolean("stats-per-vc");
     c.profileComponents = cli.boolean("profile");
+    c.flightRecorderPath = cli.str("flight-recorder-dump");
+    const auto depth = cli.integer("flight-recorder-depth");
+    if (depth > 0)
+        c.flightRecorderDepth = static_cast<std::size_t>(depth);
+    c.flightRecorderCats = cli.str("flight-recorder-cats");
     return c;
 }
 

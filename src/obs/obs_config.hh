@@ -17,12 +17,14 @@
 #define MMR_OBS_OBS_CONFIG_HH
 
 #include <fstream>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "base/types.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/sampler.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
@@ -61,6 +63,30 @@ struct ObsConfig
     /** Register per-VC occupancy gauges (256 VCs x 8 ports makes for
      * wide CSVs; off by default). */
     bool perVcStats = false;
+
+    /**
+     * End-of-run flight-recorder dump path.  The recorder itself is
+     * always on (crash forensics matter most on the runs nobody
+     * thought to instrument) and dumps to its default path on panic;
+     * this adds an unconditional dump at finish() for inspection of
+     * healthy runs.
+     */
+    std::string flightRecorderPath;
+
+    /** Flight-recorder ring depth in events (rounded up to a power
+     * of two). */
+    std::size_t flightRecorderDepth = FlightRecorder::kDefaultCapacity;
+
+    /**
+     * Categories the always-on recorder keeps.  Defaults to the
+     * low-volume forensic set: scheduler grants already record one
+     * event per moved flit (input port, VC, conn, output port), so
+     * the per-flit `flit`/`credit` streams triple the event rate for
+     * little post-mortem signal — recording them measurably slows
+     * the simulator.  "all" restores every category.
+     */
+    std::string flightRecorderCats =
+        "sched,admission,setup,control,fault";
 
     bool wantsTrace() const { return !tracePath.empty(); }
     bool wantsSampler() const
@@ -103,6 +129,21 @@ class ObsSession
     /** The live sampler, or nullptr when sampling is off. */
     StatsSampler *sampler() { return sampl.get(); }
 
+    /** The session's black box (always constructed; installed as the
+     * thread's recorder unless an outer session already owns it). */
+    FlightRecorder *flightRecorder() { return flight.get(); }
+
+    /**
+     * Hook writing a JSON value (the latency-histogram object) into
+     * the --stats-json payload under the "histograms" key; unset
+     * sessions emit null.  The harness registers one reading its
+     * MetricsRecorder at finish() time.
+     */
+    void setHistogramDump(std::function<void(std::ostream &)> fn)
+    {
+        histDump = std::move(fn);
+    }
+
     /**
      * Take a final sample (so the last partial period is covered) and
      * write every requested output file.  Idempotent.
@@ -116,6 +157,9 @@ class ObsSession
     std::unique_ptr<Tracer> trace;
     std::unique_ptr<std::ofstream> vcdStream;
     std::unique_ptr<VcdWriter> vcd;
+    std::unique_ptr<FlightRecorder> flight;
+    std::function<void(std::ostream &)> histDump;
+    bool ownsFlightActivation = false;
     bool attached = false;
     bool finished = false;
 };

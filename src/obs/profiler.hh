@@ -18,6 +18,7 @@
 #ifndef MMR_OBS_PROFILER_HH
 #define MMR_OBS_PROFILER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -42,18 +43,27 @@ struct SimProfile
      * when Kernel::enableProfiling(true) was set for the run. */
     std::vector<std::pair<std::string, double>> componentSeconds;
 
+    /** Shortest wall time a rate is computed over.  A run can finish
+     * inside one clock tick (wallSeconds == 0, or a denormal); naive
+     * division then reports 0 or inf cycles/s, and either poisons the
+     * perf-baseline comparison.  Clamping the denominator keeps the
+     * rate finite; zero work still reports an honest 0. */
+    static constexpr double kMinWallSeconds = 1e-9;
+
     double cyclesPerSec() const
     {
-        return wallSeconds > 0.0
-                   ? static_cast<double>(cycles) / wallSeconds
-                   : 0.0;
+        if (cycles == 0)
+            return 0.0;
+        return static_cast<double>(cycles) /
+               std::max(wallSeconds, kMinWallSeconds);
     }
 
     double eventsPerSec() const
     {
-        return wallSeconds > 0.0
-                   ? static_cast<double>(events) / wallSeconds
-                   : 0.0;
+        if (events == 0)
+            return 0.0;
+        return static_cast<double>(events) /
+               std::max(wallSeconds, kMinWallSeconds);
     }
 };
 

@@ -1,9 +1,11 @@
 #include "router/router.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "base/logging.hh"
 #include "base/simclock.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/trace.hh"
 #include "traffic/rates.hh"
 
@@ -27,6 +29,9 @@ MmrRouter::MmrRouter(const RouterConfig &cfg_, MetricsRecorder *metrics_)
     const bool random_candidates = false;
     inputMems.reserve(cfg.numPorts);
     linkScheds.reserve(cfg.numPorts);
+    // A matching holds at most one grant per input port.
+    currentStamps.reserve(cfg.numPorts);
+    nextStamps.reserve(cfg.numPorts);
     PriorityPolicy policy = PriorityPolicy::Biased;
     if (cfg.scheduler == SchedulerKind::FixedPriority)
         policy = PriorityPolicy::Fixed;
@@ -347,8 +352,8 @@ MmrRouter::inject(ConnId id, Flit f)
         return false;
     }
     ++statInjected;
-    MMR_TRACE_INSTANT(TraceCat::Flit, "inject", f.readyTime, p.in, id,
-                      static_cast<std::int32_t>(p.inVc));
+    MMR_OBS_EVENT(TraceCat::Flit, "inject", f.readyTime, p.in, id,
+                  static_cast<std::int32_t>(p.inVc));
     return true;
 }
 
@@ -362,8 +367,8 @@ MmrRouter::injectRaw(PortId in, VcId vc, const Flit &f)
         return false;
     }
     ++statInjected;
-    MMR_TRACE_INSTANT(TraceCat::Flit, "inject", f.readyTime, in, f.conn,
-                      static_cast<std::int32_t>(vc));
+    MMR_OBS_EVENT(TraceCat::Flit, "inject", f.readyTime, in, f.conn,
+                  static_cast<std::int32_t>(vc));
     return true;
 }
 
@@ -447,13 +452,16 @@ MmrRouter::processBypass(Cycle now)
             ++statBypassHits;
             ++statForwarded;
             ++statByClass[static_cast<int>(TrafficClass::Control)];
-            MMR_TRACE_INSTANT(TraceCat::Control, "cut_through", now,
-                              req.out, req.flit.conn,
-                              static_cast<std::int32_t>(req.in));
+            MMR_OBS_EVENT(TraceCat::Control, "cut_through", now,
+                          req.out, req.flit.conn,
+                          static_cast<std::int32_t>(req.in));
             if (metrics) {
+                // Cut-throughs bypass the VC pipeline: class delay
+                // only, no stage decomposition.
                 metrics->recordDeparture(
                     req.flit.conn, now,
-                    static_cast<double>(now - req.flit.readyTime));
+                    static_cast<double>(now - req.flit.readyTime),
+                    TrafficClass::Control);
             }
             if (sink)
                 sink(req.out, kInvalidVc, req.flit, now);
@@ -522,15 +530,21 @@ MmrRouter::evaluate(Cycle now)
     bypassMasks.busyIn.clearAll();
     bypassMasks.busyOut.clearAll();
 
+    nextStamps.clear();
     for (const Candidate &c : nextMatching) {
-        inputMems[c.in].vc(c.vc).noteGrantIssued();
+        // mmr-lint: allow(hot-path-alloc) amortized: nextStamps'
+        // capacity is reserved in the constructor (one slot per port
+        // covers any matching) and recycled via the swap in advance().
+        nextStamps.emplace_back();
+        inputMems[c.in].vc(c.vc).noteGrantIssued(now,
+                                                 nextStamps.back());
         // The pending grant shrinks the ungranted-flit count and eats
         // round quota: the link scheduler must re-derive this VC's
         // eligibility bit.
         inputMems[c.in].markSchedDirty(c.vc);
-        MMR_TRACE_INSTANT(TraceCat::Sched, "grant", now, c.in, c.conn,
-                          static_cast<std::int32_t>(c.vc),
-                          static_cast<std::int32_t>(c.out));
+        MMR_OBS_EVENT(TraceCat::Sched, "grant", now, c.in, c.conn,
+                      static_cast<std::int32_t>(c.vc),
+                      static_cast<std::int32_t>(c.out));
     }
 
     statMatchSize.add(static_cast<double>(nextMatching.size()));
@@ -539,17 +553,19 @@ MmrRouter::evaluate(Cycle now)
 }
 
 void
-MmrRouter::deliver(const Candidate &grant, Flit &&flit, Cycle now)
+MmrRouter::deliver(const Candidate &grant, Flit &&flit, Cycle now,
+                   const StageSample &stages)
 {
     ++statForwarded;
     ++statByClass[static_cast<int>(flit.klass)];
-    MMR_TRACE_INSTANT(TraceCat::Flit, "xmit", now, grant.out,
-                      grant.conn, static_cast<std::int32_t>(grant.vc),
-                      static_cast<std::int32_t>(grant.outVc));
+    MMR_OBS_EVENT(TraceCat::Flit, "xmit", now, grant.out,
+                  grant.conn, static_cast<std::int32_t>(grant.vc),
+                  static_cast<std::int32_t>(grant.outVc));
     if (metrics) {
         metrics->recordDeparture(
             grant.conn, now,
-            static_cast<double>(now - flit.readyTime));
+            static_cast<double>(now - flit.readyTime), flit.klass,
+            &stages);
     }
     if (creditReturn)
         creditReturn(grant.in, grant.vc, now);
@@ -592,21 +608,37 @@ MmrRouter::maybeAutoRelease(ConnId id, PortId in, VcId in_vc)
 void
 MmrRouter::applyMatching(Cycle now)
 {
-    for (const Candidate &grant : currentMatching) {
+    mmr_assert(currentStamps.size() == currentMatching.size(),
+               "matching and stamp vectors fell out of step");
+    for (std::size_t gi = 0; gi < currentMatching.size(); ++gi) {
+        const Candidate &grant = currentMatching[gi];
         VcState &vc = inputMems[grant.in].vc(grant.vc);
         mmr_assert(!vc.empty(), "granted VC (", grant.in, ",", grant.vc,
                    ") is empty at apply time");
         Flit flit = vc.pop();
+        // Stamps travel with the matching (same index = same grant):
+        // they attribute the flit's delay to the pipeline stages.
         vc.noteGrantApplied();
+        const VcState::GrantStamp &stamp = currentStamps[gi];
+        StageSample stages;
+        stages.sourceQueue = flit.readyTime > flit.createTime
+                                 ? flit.readyTime - flit.createTime
+                                 : 0;
+        stages.vcResidency = stamp.vcWait;
+        stages.arbWait = stamp.arbWait;
+        // The stamp keeps only the low 32 bits of the issue cycle;
+        // wrap-around subtraction recovers the (small) pipeline delay.
+        stages.switchTraversal = static_cast<std::uint32_t>(now) -
+                                 stamp.grantCycle;
         vc.noteServiced();
         inputMems[grant.in].noteDrained(grant.vc);
         creditMgr.consume(grant.out, grant.outVc);
-        MMR_TRACE_INSTANT(TraceCat::Credit, "credit_consume", now,
-                          grant.out, grant.conn,
-                          static_cast<std::int32_t>(grant.outVc),
-                          static_cast<std::int32_t>(
-                              creditMgr.credits(grant.out, grant.outVc)));
-        deliver(grant, std::move(flit), now);
+        MMR_OBS_EVENT(TraceCat::Credit, "credit_consume", now,
+                      grant.out, grant.conn,
+                      static_cast<std::int32_t>(grant.outVc),
+                      static_cast<std::int32_t>(
+                          creditMgr.credits(grant.out, grant.outVc)));
+        deliver(grant, std::move(flit), now, stages);
         maybeAutoRelease(grant.conn, grant.in, grant.vc);
     }
 
@@ -634,6 +666,8 @@ MmrRouter::advance(Cycle now)
     // recycled as next cycle's scratch.
     currentMatching.swap(nextMatching);
     nextMatching.clear();
+    currentStamps.swap(nextStamps);
+    nextStamps.clear();
 }
 
 std::uint64_t

@@ -241,7 +241,8 @@ class MmrRouter : public Clocked
     bool creditAvailable(const VcState &vc) const;
     void applyMatching(Cycle now);
     void processBypass(Cycle now);
-    void deliver(const Candidate &grant, Flit &&flit, Cycle now);
+    void deliver(const Candidate &grant, Flit &&flit, Cycle now,
+                 const StageSample &stages);
     void maybeAutoRelease(ConnId id, PortId in, VcId in_vc);
 
     RouterConfig cfg;
@@ -262,6 +263,11 @@ class MmrRouter : public Clocked
 
     Matching currentMatching; ///< applied during this cycle
     Matching nextMatching;    ///< computed this cycle, applied next
+    /** Stage-latency stamps parallel to the matchings (same index =
+     * same grant): issue order equals apply order, so the per-grant
+     * decomposition never has to live inside the scanned VC state. */
+    std::vector<VcState::GrantStamp> currentStamps;
+    std::vector<VcState::GrantStamp> nextStamps;
     PortMasks bypassMasks;    ///< ports claimed by VCT cut-throughs
 
     /**

@@ -19,6 +19,7 @@ VcState::release()
     interArrivalCycles_ = 0.0;
     priority = 0;
     servicedThisRound = 0;
+    headEligibleAt = 0;
 }
 
 void

@@ -15,6 +15,7 @@
 #define MMR_ROUTER_VC_STATE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "base/logging.hh"
@@ -81,6 +82,27 @@ class FlitFifo
 class VcState
 {
   public:
+    /**
+     * Stage-latency stamps for one pipelined grant, filled at issue
+     * time and consumed at apply time.  Deliberately NOT stored in
+     * VcState: the router keeps the stamps of a matching in a small
+     * vector parallel to the matching itself (issue order equals
+     * apply order), so the per-cycle VC scans never drag stamp bytes
+     * through the cache and VcState stays at its pre-decomposition
+     * size.
+     *
+     * grantCycle holds the low 32 bits of the issue cycle; the apply
+     * path recovers the traversal delay with wrap-around u32
+     * subtraction, exact for any pipeline latency below 2^32 cycles.
+     * The waits saturate at ~4G cycles, far beyond any simulated gap.
+     */
+    struct GrantStamp
+    {
+        std::uint32_t grantCycle = 0; ///< low bits of the issue cycle
+        std::uint32_t vcWait = 0;     ///< arrival -> head of the VC
+        std::uint32_t arbWait = 0;    ///< head of VC -> grant issued
+    };
+
     /** Reset to the unbound (free) state. */
     void release();
 
@@ -105,6 +127,10 @@ class VcState
     {
         if (!bound())
             mmr_panic("push() on unbound VC (flit seq ", f.seq, ")");
+        // A flit landing in a VC with no other ungranted flit becomes
+        // arbitration-eligible immediately: start its head-wait clock.
+        if (!hasUngrantedFlit())
+            headEligibleAt = f.readyTime;
         fifo.push_back(f);
     }
 
@@ -146,8 +172,45 @@ class VcState
 
     /** Grants issued but not yet applied (pipelined arbitration). */
     unsigned pendingGrants() const { return grantsPending; }
-    void noteGrantIssued() { ++grantsPending; }
 
+    /**
+     * Record a switch grant for the current ungranted head.  Stamps
+     * the head's stage waits (VC residency, arbitration wait) into
+     * @p s so the apply path can attribute them to the flit it pops;
+     * the next flit in line — if any — becomes the eligible head at
+     * @p now.
+     */
+    void
+    noteGrantIssued(Cycle now, GrantStamp &s)
+    {
+        s.grantCycle = static_cast<std::uint32_t>(now);
+        s.arbWait = clampWait(now > headEligibleAt
+                                  ? now - headEligibleAt
+                                  : 0);
+        s.vcWait = 0;
+        if (hasUngrantedFlit()) {
+            const Flit &h = fifo[grantsPending]; // flit being granted
+            s.vcWait = clampWait(headEligibleAt > h.readyTime
+                                     ? headEligibleAt - h.readyTime
+                                     : 0);
+        }
+        ++grantsPending;
+        if (hasUngrantedFlit())
+            headEligibleAt = now;
+    }
+
+    /** Grant-accounting-only form for callers that do not keep the
+     * stage decomposition (unit tests, bypass paths). */
+    void
+    noteGrantIssued(Cycle now = 0)
+    {
+        GrantStamp scratch;
+        noteGrantIssued(now, scratch);
+    }
+
+    /** Consume the oldest pending grant (the one applied to the flit
+     * just popped); its stamps live in the router's matching-parallel
+     * stamp vector. */
     void
     noteGrantApplied()
     {
@@ -222,6 +285,20 @@ class VcState
     unsigned servicedThisRound = 0;
     unsigned grantsPending = 0;
     double tie = 0.0;
+
+    /** Saturate a cycle delta into a 32-bit stamp field. */
+    static std::uint32_t
+    clampWait(Cycle delta)
+    {
+        return delta > 0xffffffff
+                   ? 0xffffffffu
+                   : static_cast<std::uint32_t>(delta);
+    }
+
+    /** Cycle the current ungranted head became eligible (deposited
+     * into an otherwise-drained VC, or promoted when the flit ahead
+     * was granted). */
+    Cycle headEligibleAt = 0;
 };
 
 } // namespace mmr

@@ -15,6 +15,50 @@ defaultJobs()
     return hw > 0 ? hw : 1;
 }
 
+namespace
+{
+
+/** Insert ".point<N>" before the extension ("out/run.json" ->
+ * "out/run.point3.json"; no extension just appends). */
+std::string
+pointSuffixed(const std::string &path, std::size_t index)
+{
+    if (path.empty())
+        return path;
+    const std::string suffix =
+        ".point" + std::to_string(index);
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + suffix;
+    return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+/**
+ * Sweep points sharing one --stats-json/--trace/... flag would all
+ * write the same file, last writer winning (and racing under
+ * --jobs=N); give every point its own ".point<N>" output instead.
+ * Single-point "sweeps" keep the caller's exact path.
+ */
+ExperimentConfig
+withPointOutputs(const ExperimentConfig &cfg, std::size_t index,
+                 std::size_t points)
+{
+    if (points <= 1)
+        return cfg;
+    ExperimentConfig c = cfg;
+    c.obs.tracePath = pointSuffixed(c.obs.tracePath, index);
+    c.obs.statsJsonPath = pointSuffixed(c.obs.statsJsonPath, index);
+    c.obs.statsCsvPath = pointSuffixed(c.obs.statsCsvPath, index);
+    c.obs.vcdPath = pointSuffixed(c.obs.vcdPath, index);
+    c.obs.flightRecorderPath =
+        pointSuffixed(c.obs.flightRecorderPath, index);
+    return c;
+}
+
+} // namespace
+
 std::vector<ExperimentResult>
 runExperiments(
     const std::vector<ExperimentConfig> &cfgs, unsigned jobs,
@@ -27,7 +71,8 @@ runExperiments(
 
     if (jobs <= 1) {
         for (std::size_t i = 0; i < cfgs.size(); ++i) {
-            results[i] = runSingleRouter(cfgs[i]);
+            results[i] = runSingleRouter(
+                withPointOutputs(cfgs[i], i, cfgs.size()));
             if (onDone)
                 onDone(i, results[i]);
         }
@@ -48,7 +93,8 @@ runExperiments(
             if (i >= cfgs.size())
                 return;
             try {
-                results[i] = runSingleRouter(cfgs[i]);
+                results[i] = runSingleRouter(
+                    withPointOutputs(cfgs[i], i, cfgs.size()));
             } catch (...) {
                 std::lock_guard<std::mutex> lock(doneMutex);
                 if (!firstError)

@@ -28,6 +28,9 @@ enum class TrafficClass
     Control     ///< short control/probe/ack messages, highest priority
 };
 
+/** Enumerator count, for per-class fixed arrays. */
+constexpr std::size_t kNumTrafficClasses = 4;
+
 std::string to_string(TrafficClass c);
 
 /**

@@ -170,5 +170,38 @@ TEST(FaultProperties, FaultFreeRunsKeepEveryStream)
     }
 }
 
+TEST(FaultProperties, QosDeadlineAccountingIsReported)
+{
+    InvariantGuard guard;
+    NetworkExperimentConfig c = stressConfig(0);
+    c.faults = FaultModel{};
+
+    // Unmeetable 1-cycle end-to-end budget: every measured CBR flit
+    // violates and the violation rate saturates at 1.
+    c.cbrDelayBudgetCycles = 1;
+    const auto tight = runNetworkExperiment(c);
+    ASSERT_GT(tight.qosFlits, 0u);
+    EXPECT_EQ(tight.qosViolations, tight.qosFlits);
+    EXPECT_DOUBLE_EQ(tight.qosViolationRate, 1.0);
+    EXPECT_GT(tight.worstQosExcessCycles, 0u);
+    EXPECT_EQ(tight.cbrLatency.count, tight.qosFlits);
+    EXPECT_LE(tight.cbrLatency.p50, tight.cbrLatency.p999);
+
+    // A generous budget is met by every flit; the histogram-backed
+    // summary still reports the same population.
+    c.cbrDelayBudgetCycles = 1000000;
+    const auto loose = runNetworkExperiment(c);
+    EXPECT_EQ(loose.qosFlits, tight.qosFlits);
+    EXPECT_EQ(loose.qosViolations, 0u);
+    EXPECT_DOUBLE_EQ(loose.qosViolationRate, 0.0);
+    EXPECT_EQ(loose.worstQosExcessCycles, 0u);
+
+    // Budget 0 disables the accounting without disturbing delivery.
+    c.cbrDelayBudgetCycles = 0;
+    const auto off = runNetworkExperiment(c);
+    EXPECT_EQ(off.qosFlits, 0u);
+    EXPECT_EQ(off.cbrLatency.count, tight.cbrLatency.count);
+}
+
 } // namespace
 } // namespace mmr

@@ -203,5 +203,66 @@ TEST(Harness, InvalidLoadIsFatal)
     EXPECT_THROW(SingleRouterExperiment exp(cfg), std::runtime_error);
 }
 
+TEST(Harness, StageDecompositionIsHarvested)
+{
+    const ExperimentResult r = runSingleRouter(smallCfg(0.6));
+    ASSERT_GT(r.flitsDelivered, 0u);
+    // Every delivered flit crosses the switch and waits for at least
+    // one arbitration decision; both stages must be populated.
+    const auto &sw = r.stageHist[static_cast<std::size_t>(
+        LatencyStage::SwitchTraversal)];
+    const auto &arb =
+        r.stageHist[static_cast<std::size_t>(LatencyStage::ArbWait)];
+    EXPECT_EQ(sw.count(), r.flitsDelivered);
+    EXPECT_EQ(arb.count(), r.flitsDelivered);
+    // Summaries are derived from the same histograms and ordered.
+    for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+        const LatencySummary &sum = r.stageLatency[s];
+        EXPECT_EQ(sum.count, r.stageHist[s].count());
+        EXPECT_LE(sum.p50, sum.p90);
+        EXPECT_LE(sum.p90, sum.p99);
+        EXPECT_LE(sum.p99, sum.p999);
+        EXPECT_LE(sum.p999, sum.maxCycles);
+    }
+    // The per-class totals mirror their histograms too.
+    EXPECT_EQ(r.cbr.latency.count, r.cbr.delayHist.count());
+}
+
+TEST(Harness, QosBudgetCountsViolations)
+{
+    // A 1-cycle budget is unmeetable: every measured CBR flit takes
+    // at least the switch-traversal cycle plus arbitration.
+    auto tight = smallCfg(0.6);
+    tight.cbrDelayBudget = 1;
+    const ExperimentResult rt = runSingleRouter(tight);
+    ASSERT_GT(rt.cbr.flits, 0u);
+    EXPECT_EQ(rt.cbr.qos.flits, rt.cbr.flits);
+    EXPECT_GT(rt.cbr.qos.violations, 0u);
+    EXPECT_GT(rt.cbr.qos.violationRate(), 0.0);
+    EXPECT_LE(rt.cbr.qos.violationRate(), 1.0);
+    EXPECT_GT(rt.cbr.qos.worstExcessCycles, 0u);
+
+    // A generous budget is always met.
+    auto loose = smallCfg(0.6);
+    loose.cbrDelayBudget = 1000000;
+    const ExperimentResult rl = runSingleRouter(loose);
+    EXPECT_EQ(rl.cbr.qos.flits, rl.cbr.flits);
+    EXPECT_EQ(rl.cbr.qos.violations, 0u);
+    EXPECT_EQ(rl.cbr.qos.worstExcessCycles, 0u);
+
+    // Budget 0 disables the accounting entirely.
+    const ExperimentResult roff = runSingleRouter(smallCfg(0.6));
+    EXPECT_EQ(roff.cbr.qos.flits, 0u);
+    EXPECT_EQ(roff.cbr.qos.violations, 0u);
+}
+
+TEST(HarnessDeath, ForcedPanicTripsTheInvariantMachinery)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    auto cfg = smallCfg(0.3);
+    cfg.forcePanicAt = cfg.warmupCycles + 100;
+    EXPECT_DEATH(runSingleRouter(cfg), "forced-panic");
+}
+
 } // namespace
 } // namespace mmr

@@ -17,6 +17,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "metrics/recorder.hh"
+#include "obs/flight_recorder.hh"
 #include "router/router.hh"
 #include "sim/kernel.hh"
 
@@ -133,6 +135,80 @@ TEST(ZeroAlloc, SteadyStateCycleAllocatesNothing)
 
     EXPECT_EQ(allocations.load(), 0u)
         << "heap allocation on the steady-state evaluate/advance path";
+}
+
+/**
+ * The observability hot paths ride the same budget: metrics recording
+ * (stage/class histogram stamps, QoS deadline checks) and the always-on
+ * flight recorder's event ring must be allocation-free too, or turning
+ * on forensics would perturb the very runs it is meant to explain.
+ */
+TEST(ZeroAlloc, MetricsAndFlightRecorderAllocateNothing)
+{
+    RouterConfig cfg;
+    cfg.numPorts = 4;
+    cfg.vcsPerPort = 64;
+    cfg.vcBufferFlits = 8;
+    cfg.candidates = 4;
+    cfg.seed = 7;
+
+    MetricsRecorder metrics;
+    metrics.setQosBudget(TrafficClass::CBR, 4);
+    FlightRecorder blackBox(1024);
+    blackBox.activate();
+
+    MmrRouter router(cfg, &metrics);
+    std::uint64_t delivered = 0;
+    router.setSink([&](PortId, VcId, const Flit &, Cycle) {
+        ++delivered;
+    });
+
+    std::vector<ConnId> conns;
+    for (PortId in = 0; in < 4; ++in)
+        for (PortId out = 0; out < 4; ++out) {
+            const ConnId id = router.openCbr(in, out, 60 * kMbps);
+            ASSERT_NE(id, kInvalidConn);
+            conns.push_back(id);
+        }
+
+    Kernel kernel;
+    kernel.add(&router, "dut");
+    metrics.startMeasurement(0);
+
+    std::vector<std::uint32_t> seq(conns.size(), 0);
+    const auto injectAll = [&] {
+        for (std::size_t i = 0; i < conns.size(); ++i) {
+            Flit f;
+            f.seq = seq[i];
+            f.readyTime = kernel.now();
+            if (router.inject(conns[i], f))
+                ++seq[i];
+        }
+    };
+
+    for (Cycle t = 0; t < 2000; ++t) {
+        injectAll();
+        kernel.step();
+    }
+    ASSERT_GT(delivered, 0u) << "workload never moved a flit";
+    ASSERT_GT(blackBox.recorded(), 0u)
+        << "flight recorder saw no events";
+    ASSERT_GT(metrics.stageHistogram(LatencyStage::SwitchTraversal)
+                  .count(),
+              0u)
+        << "metrics recorder saw no flits";
+
+    allocations.store(0);
+    counting.store(true);
+    for (Cycle t = 0; t < 2000; ++t) {
+        injectAll();
+        kernel.step();
+    }
+    counting.store(false);
+    blackBox.deactivate();
+
+    EXPECT_EQ(allocations.load(), 0u)
+        << "heap allocation on the instrumented steady-state path";
 }
 
 } // namespace

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the log-bucketed latency histogram: bucket geometry at
+ * the exact/logarithmic boundary, percentile semantics, and the
+ * merge algebra the parallel sweep's determinism audit leans on
+ * (element-wise integer sums are exactly associative and
+ * commutative, unlike StreamStat's floating-point merge).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "base/rng.hh"
+#include "obs/histogram.hh"
+
+namespace mmr
+{
+namespace
+{
+
+TEST(LatencyHistogram, EmptyHistogramIsInert)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+    EXPECT_EQ(h.percentile(50.0), 0u);
+    EXPECT_EQ(h.percentile(99.9), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleIsEveryPercentile)
+{
+    LatencyHistogram h;
+    h.record(7);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.minValue(), 7u);
+    EXPECT_EQ(h.maxValue(), 7u);
+    EXPECT_EQ(h.percentile(0.0), 7u);
+    EXPECT_EQ(h.percentile(50.0), 7u);
+    EXPECT_EQ(h.percentile(100.0), 7u);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(LatencyHistogram, LowRangeIsExact)
+{
+    // Values below kSubBuckets each own a bucket: no quantization.
+    for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+        EXPECT_EQ(LatencyHistogram::bucketIndex(v), v);
+        EXPECT_EQ(LatencyHistogram::bucketLowerBound(v), v);
+    }
+}
+
+TEST(LatencyHistogram, BucketBoundariesRoundTrip)
+{
+    // The lower bound of every bucket must map back to that bucket,
+    // and the value just below it to an earlier one.
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        const std::uint64_t lo = LatencyHistogram::bucketLowerBound(i);
+        if (LatencyHistogram::bucketIndex(lo) != i) {
+            // Top-of-range buckets whose lower bound overflows fold
+            // into the final representable bucket; skip those.
+            ASSERT_GE(lo, 1ull << 60);
+            continue;
+        }
+        EXPECT_EQ(LatencyHistogram::bucketIndex(lo), i);
+        if (lo > 0) {
+            EXPECT_LT(LatencyHistogram::bucketIndex(lo - 1), i);
+        }
+    }
+}
+
+TEST(LatencyHistogram, PowerOfTwoEdgesLandInDistinctBuckets)
+{
+    // Around each power of two the index must be monotone: v-1, v,
+    // v+stride never share a bucket with quantization error > 1/16.
+    for (unsigned bit = 4; bit < 63; ++bit) {
+        const std::uint64_t v = 1ull << bit;
+        EXPECT_LT(LatencyHistogram::bucketIndex(v - 1),
+                  LatencyHistogram::bucketIndex(v))
+            << "at 2^" << bit;
+        EXPECT_EQ(LatencyHistogram::bucketLowerBound(
+                      LatencyHistogram::bucketIndex(v)),
+                  v)
+            << "a power of two starts its major bucket";
+    }
+}
+
+TEST(LatencyHistogram, RelativeErrorStaysUnderSubBucketWidth)
+{
+    Rng rng(1234);
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = static_cast<std::uint64_t>(
+            rng.range(1, 1000000000));
+        const std::uint64_t lo = LatencyHistogram::bucketLowerBound(
+            LatencyHistogram::bucketIndex(v));
+        ASSERT_LE(lo, v);
+        // Lower bound under-states by at most 1/16 of the value.
+        EXPECT_LE(v - lo, v / LatencyHistogram::kSubBuckets + 1);
+    }
+}
+
+TEST(LatencyHistogram, PercentilesNeverOverstate)
+{
+    LatencyHistogram h;
+    std::vector<std::uint64_t> vals;
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        const auto v =
+            static_cast<std::uint64_t>(rng.range(0, 100000));
+        vals.push_back(v);
+        h.record(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    for (double p : {50.0, 90.0, 99.0, 99.9}) {
+        const std::uint64_t approx = h.percentile(p);
+        const std::size_t rank = static_cast<std::size_t>(
+            p / 100.0 * static_cast<double>(vals.size()));
+        const std::uint64_t exact =
+            vals[std::min(rank, vals.size() - 1)];
+        EXPECT_LE(approx, exact + 1) << "p" << p;
+        // ...and within one sub-bucket below it.
+        EXPECT_GE(approx + approx / LatencyHistogram::kSubBuckets + 1,
+                  exact)
+            << "p" << p;
+    }
+    EXPECT_EQ(h.percentile(100.0), vals.back());
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndCommutative)
+{
+    Rng rng(7);
+    LatencyHistogram a, b, c;
+    for (int i = 0; i < 3000; ++i) {
+        const auto v =
+            static_cast<std::uint64_t>(rng.range(0, 1 << 20));
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(v);
+    }
+
+    // (a + b) + c
+    LatencyHistogram abc1 = a;
+    abc1.merge(b);
+    abc1.merge(c);
+    // a + (b + c)
+    LatencyHistogram bc = b;
+    bc.merge(c);
+    LatencyHistogram abc2 = a;
+    abc2.merge(bc);
+    // c + b + a
+    LatencyHistogram abc3 = c;
+    abc3.merge(b);
+    abc3.merge(a);
+
+    EXPECT_TRUE(abc1.identical(abc2));
+    EXPECT_TRUE(abc1.identical(abc3));
+    EXPECT_EQ(abc1.count(), a.count() + b.count() + c.count());
+    EXPECT_EQ(abc1.maxValue(),
+              std::max({a.maxValue(), b.maxValue(), c.maxValue()}));
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity)
+{
+    LatencyHistogram h, empty;
+    h.record(42);
+    h.record(4200);
+    LatencyHistogram merged = h;
+    merged.merge(empty);
+    EXPECT_TRUE(merged.identical(h));
+
+    LatencyHistogram other = empty;
+    other.merge(h);
+    EXPECT_TRUE(other.identical(h));
+    EXPECT_EQ(other.minValue(), 42u);
+}
+
+TEST(LatencyHistogram, ResetClearsEverything)
+{
+    LatencyHistogram h;
+    h.record(5);
+    h.record(500000);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+    EXPECT_TRUE(h.identical(LatencyHistogram{}));
+}
+
+TEST(LatencyHistogram, JsonCarriesCountsAndPercentiles)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(10);
+    h.record(100000);
+
+    std::ostringstream os;
+    h.writeJson(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"count\":101"), std::string::npos) << s;
+    EXPECT_NE(s.find("\"min\":10"), std::string::npos);
+    EXPECT_NE(s.find("\"max\":100000"), std::string::npos);
+    EXPECT_NE(s.find("\"p50\":10"), std::string::npos);
+    EXPECT_NE(s.find("\"p999\":"), std::string::npos);
+    EXPECT_NE(s.find("\"buckets\":[[10,100],"), std::string::npos);
+}
+
+TEST(LatencyStage, NamesAreStable)
+{
+    // Stage names feed stats-registry keys and JSON schemas; renames
+    // are format breaks, not refactors.
+    EXPECT_STREQ(to_string(LatencyStage::SourceQueue), "source_queue");
+    EXPECT_STREQ(to_string(LatencyStage::VcResidency), "vc_residency");
+    EXPECT_STREQ(to_string(LatencyStage::ArbWait), "arb_wait");
+    EXPECT_STREQ(to_string(LatencyStage::SwitchTraversal),
+                 "switch_traversal");
+    EXPECT_STREQ(to_string(LatencyStage::LinkTransit), "link_transit");
+}
+
+} // namespace
+} // namespace mmr

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "obs/profiler.hh"
@@ -40,8 +41,31 @@ TEST(SimProfile, ThroughputArithmetic)
     EXPECT_DOUBLE_EQ(p.cyclesPerSec(), 500.0);
     EXPECT_DOUBLE_EQ(p.eventsPerSec(), 250.0);
 
-    // A zero wall clock (too fast to measure) must not divide by zero.
+    // A zero wall clock (too fast to measure) must not divide by
+    // zero: the denominator clamps, so the rate stays finite instead
+    // of reporting 0 or inf for a run that clearly did work.
     p.wallSeconds = 0.0;
+    EXPECT_TRUE(std::isfinite(p.cyclesPerSec()));
+    EXPECT_TRUE(std::isfinite(p.eventsPerSec()));
+    EXPECT_GT(p.cyclesPerSec(), 0.0);
+    EXPECT_DOUBLE_EQ(p.cyclesPerSec(),
+                     1000.0 / SimProfile::kMinWallSeconds);
+
+    // Denormal wall time used to blow straight past the > 0.0 guard
+    // and report inf; the clamp covers it too.
+    p.wallSeconds = 1e-312;
+    EXPECT_TRUE(std::isfinite(p.cyclesPerSec()));
+    EXPECT_TRUE(std::isfinite(p.eventsPerSec()));
+}
+
+TEST(SimProfile, ZeroWorkReportsZeroThroughput)
+{
+    // Zero cycles (a run that never stepped) is honest zero whatever
+    // the wall clock says — never 0/0 or a clamped junk rate.
+    SimProfile p;
+    EXPECT_EQ(p.cyclesPerSec(), 0.0);
+    EXPECT_EQ(p.eventsPerSec(), 0.0);
+    p.wallSeconds = 2.5;
     EXPECT_EQ(p.cyclesPerSec(), 0.0);
     EXPECT_EQ(p.eventsPerSec(), 0.0);
 }

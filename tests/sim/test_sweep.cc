@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <vector>
 
 #include "sim/sweep.hh"
@@ -92,6 +95,80 @@ TEST(Sweep, DigestsIdenticalSerialVsFourJobs)
             << ", sched "
             << to_string(cfgs[i].router.scheduler) << ")";
     }
+}
+
+/**
+ * Histograms, not just scalar digests: the per-stage and per-class
+ * latency histograms harvested from a parallel sweep are bucket-for-
+ * bucket identical to the serial run's, so percentile columns computed
+ * from merged shards never depend on --jobs.
+ */
+TEST(Sweep, HistogramsIdenticalSerialVsFourJobs)
+{
+    const auto cfgs = smallGrid();
+    const auto serial = runExperiments(cfgs, 1);
+    const auto parallel4 = runExperiments(cfgs, 4);
+    ASSERT_EQ(serial.size(), parallel4.size());
+    LatencyHistogram mergedSerial, mergedParallel;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        for (std::size_t s = 0; s < kNumLatencyStages; ++s)
+            EXPECT_TRUE(serial[i].stageHist[s].identical(
+                parallel4[i].stageHist[s]))
+                << "point " << i << " stage " << s;
+        EXPECT_TRUE(serial[i].cbr.delayHist.identical(
+            parallel4[i].cbr.delayHist))
+            << "point " << i;
+        mergedSerial.merge(serial[i].cbr.delayHist);
+        mergedParallel.merge(parallel4[i].cbr.delayHist);
+    }
+    EXPECT_TRUE(mergedSerial.identical(mergedParallel));
+    EXPECT_GT(mergedSerial.count(), 0u);
+}
+
+/**
+ * Regression: points of one sweep sharing an observability output path
+ * used to race (parallel) or silently overwrite each other (serial),
+ * leaving one winner's file.  The runner now gives every point its own
+ * ".point<N>" path; the caller's exact path is reserved for
+ * single-point runs.
+ */
+TEST(Sweep, SharedStatsPathFansOutPerPoint)
+{
+    const std::string base =
+        ::testing::TempDir() + "sweep_stats.json";
+    auto cfgs = smallGrid();
+    cfgs.resize(3);
+    for (auto &cfg : cfgs)
+        cfg.obs.statsJsonPath = base;
+    const auto results = runExperiments(cfgs, 3);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(std::ifstream(base).good())
+        << "multi-point sweep must not write the bare shared path";
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        const std::string path = ::testing::TempDir() +
+                                 "sweep_stats.point" +
+                                 std::to_string(i) + ".json";
+        std::ifstream in(path);
+        EXPECT_TRUE(in.good()) << "missing per-point file " << path;
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        EXPECT_NE(text.find("\"histograms\""), std::string::npos)
+            << path;
+        std::remove(path.c_str());
+    }
+}
+
+/** A single-point "sweep" keeps the caller's exact output path. */
+TEST(Sweep, SinglePointKeepsExactPath)
+{
+    const std::string base =
+        ::testing::TempDir() + "sweep_single.json";
+    auto cfgs = smallGrid();
+    cfgs.resize(1);
+    cfgs[0].obs.statsJsonPath = base;
+    runExperiments(cfgs, 1);
+    EXPECT_TRUE(std::ifstream(base).good());
+    std::remove(base.c_str());
 }
 
 /** More workers than points is clamped, not an error. */
