@@ -34,6 +34,8 @@
 namespace
 {
 
+unsigned gShards = 1; ///< --shards, applied to every run in the bench
+
 mmr::NetworkExperimentConfig
 sweepConfig(const std::string &topo, std::uint64_t seed, mmr::Cycle warmup,
             mmr::Cycle measure, mmr::Cycle drain, double fail_per_10k,
@@ -41,6 +43,7 @@ sweepConfig(const std::string &topo, std::uint64_t seed, mmr::Cycle warmup,
 {
     using namespace mmr;
     NetworkExperimentConfig c;
+    c.net.shards = gShards;
     c.topologySpec = topo;
     c.seed = seed;
     c.cbrDelayBudgetCycles = cbr_budget;
@@ -87,8 +90,12 @@ main(int argc, char **argv)
         cli.flag("fault-events", "",
                  "single-scenario mode: explicit event list, e.g. "
                  "down@500:2-3;up@900:2-3");
+        cli.flag("shards", "1",
+                 "intra-run shard count for the parallel network core "
+                 "(results are bit-identical across values)");
         if (!cli.parse(argc, argv))
             return 0;
+        gShards = static_cast<unsigned>(cli.integer("shards"));
         const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
         const std::string topo = cli.str("topo");
         const auto warmup = static_cast<Cycle>(cli.integer("warmup"));

@@ -61,7 +61,7 @@ BM_LinkSchedulerCollect(benchmark::State &state)
     VcMemory mem(256, 8);
     CreditManager credits(8, 256, 4);
     credits.setInfinite(true);
-    LinkScheduler sched(0, &mem, PriorityPolicy::Biased, 512, false);
+    LinkScheduler sched(0, &mem, 8, PriorityPolicy::Biased, 512, false);
     Rng rng(3);
     for (unsigned i = 0; i < ready; ++i) {
         const VcId v = static_cast<VcId>(i);

@@ -7,7 +7,16 @@ Measures two datapoints through ``examples/mmr_sim``:
   biased scheduler with 8 candidates, 70% offered CBR load), best of
   ``--repeat`` runs, via ``--profile-json``;
 * sweep — the Figure 4 load grid (7 points) executed serially and
-  with ``--jobs=N`` worker threads, recording wall time and speedup.
+  with ``--jobs=N`` worker threads, recording wall time and speedup;
+* sharded — one network run through ``bench/scaling`` at
+  ``--shards=1`` and ``--shards=N``, recording cycles/s and the
+  intra-run speedup of the shard-parallel network core.
+
+Thread-level speedups (sweep, sharded) are *unmeasurable* on a
+single-core host — the workers time-slice one core and the ratio is
+noise, not parallelism.  When ``host.cores == 1`` the script warns
+loudly and annotates both datapoints with ``"unmeasurable": true`` so
+nobody reads a 0.96x as a regression.
 
 Each invocation *appends* one entry (with host metadata: CPU model,
 core count, compiler, git SHA) to the history kept in
@@ -70,6 +79,20 @@ def run_sweep(sim: pathlib.Path, jobs: int) -> float:
     subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
                    stderr=subprocess.DEVNULL)
     return time.monotonic() - start
+
+
+def run_sharded(scaling: pathlib.Path, shards: int) -> dict:
+    """cycles/s of one 256-router MIN run at the given shard count,
+    parsed from the scaling bench's ``# begin-json scaling`` block."""
+    cmd = [str(scaling), "--routers=256", "--topo-kind=min",
+           f"--shards={shards}", "--warmup=200", "--measure=600"]
+    out = subprocess.run(cmd, check=True, capture_output=True,
+                         text=True)
+    lines = out.stdout.splitlines()
+    start = lines.index("# begin-json scaling") + 1
+    end = lines.index("# end-json", start)
+    rows = json.loads("\n".join(lines[start:end]))
+    return rows[0]
 
 
 def cpu_model() -> str:
@@ -150,6 +173,21 @@ def main() -> int:
     if not sim.exists():
         sys.exit(f"error: {sim} not found (build the project first)")
 
+    cores = os.cpu_count() or 1
+    if cores == 1:
+        print("=" * 70, file=sys.stderr)
+        print("WARNING: single-core host detected (os.cpu_count() == 1).",
+              file=sys.stderr)
+        print("Thread-level speedup numbers (sweep --jobs, sharded "
+              "--shards) are", file=sys.stderr)
+        print("UNMEASURABLE here: workers time-slice one core, so "
+              "ratios like 0.96x", file=sys.stderr)
+        print("are scheduling noise, not parallel scaling.  They are "
+              "recorded with", file=sys.stderr)
+        print('"unmeasurable": true; re-record on a multi-core host '
+              "for real numbers.", file=sys.stderr)
+        print("=" * 70, file=sys.stderr)
+
     profile_path = pathlib.Path(args.output).with_suffix(".tmp.json")
     best = None
     for i in range(max(1, args.repeat)):
@@ -181,7 +219,7 @@ def main() -> int:
         "git_sha": git_sha(),
         "host": {
             "cpu": cpu_model(),
-            "cores": os.cpu_count() or 1,
+            "cores": cores,
             "compiler": compiler_id(build),
         },
         "single": {
@@ -193,7 +231,7 @@ def main() -> int:
     }
 
     if not args.no_sweep:
-        jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+        jobs = args.jobs if args.jobs > 0 else cores
         serial_s = run_sweep(sim, jobs=1)
         parallel_s = run_sweep(sim, jobs=jobs)
         entry["sweep"] = {
@@ -203,9 +241,40 @@ def main() -> int:
             "parallel_seconds": round(parallel_s, 3),
             "speedup": round(serial_s / parallel_s, 3),
         }
+        if cores == 1:
+            entry["sweep"]["unmeasurable"] = True
         print(f"sweep: {serial_s:.2f}s serial, {parallel_s:.2f}s "
               f"with {jobs} jobs "
-              f"({serial_s / parallel_s:.2f}x)")
+              f"({serial_s / parallel_s:.2f}x"
+              f"{', unmeasurable on 1 core' if cores == 1 else ''})")
+
+    scaling = build / "bench" / "scaling"
+    if scaling.exists():
+        shards = max(2, min(8, cores))
+        serial = run_sharded(scaling, shards=1)
+        sharded = run_sharded(scaling, shards=shards)
+        speedup = (sharded["cycles_per_sec"] /
+                   serial["cycles_per_sec"]
+                   if serial["cycles_per_sec"] else 0.0)
+        entry["sharded"] = {
+            "routers": 256,
+            "topology": "min",
+            "shards": shards,
+            "serial_cycles_per_sec": serial["cycles_per_sec"],
+            "sharded_cycles_per_sec": sharded["cycles_per_sec"],
+            "speedup": round(speedup, 3),
+            "digest_match": serial["digest"] == sharded["digest"],
+        }
+        if cores == 1:
+            entry["sharded"]["unmeasurable"] = True
+        print(f"sharded: {serial['cycles_per_sec']:.0f} cycles/s "
+              f"serial, {sharded['cycles_per_sec']:.0f} at "
+              f"--shards={shards} ({speedup:.2f}x"
+              f"{', unmeasurable on 1 core' if cores == 1 else ''}), "
+              f"digest match: {entry['sharded']['digest_match']}")
+    else:
+        print(f"note: {scaling} not found; skipping the sharded "
+              "datapoint")
 
     out = pathlib.Path(args.output)
     history = {"config": CONFIG_NOTE, "entries": []}

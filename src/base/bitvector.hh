@@ -32,6 +32,9 @@ namespace mmr
 class BitVector
 {
   public:
+    /** Bits per storage word (the unit of word-parallel operations). */
+    static constexpr std::size_t kWordBits = 64;
+
     BitVector() = default;
 
     /** Create a vector of @p nbits bits, all clear. */
@@ -159,6 +162,34 @@ class BitVector
     }
 
     /**
+     * Word-parallel form of forEachSet: visit every non-zero word as
+     * (word_index, word) instead of one call per set bit.  Consumers
+     * that can combine a whole word with other status vectors (mask
+     * algebra, wholesale clears) process 64 channels per call — the
+     * word-level counterpart of the §4.1 parallel candidate
+     * extraction.  Bit i of the delivered word is channel
+     * word_index * kWordBits + i.
+     */
+    template <typename Fn>
+    void
+    forEachSetWord(Fn &&fn) const
+    {
+        for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            if (words[wi])
+                fn(wi, words[wi]);
+        }
+    }
+
+    /** Clear every bit of word @p wi that is set in @p mask. */
+    void
+    clearWordBits(std::size_t wi, std::uint64_t mask)
+    {
+        mmr_assert(wi < words.size(), "word index ", wi,
+                   " out of range ", words.size());
+        words[wi] &= ~mask;
+    }
+
+    /**
      * Visit every bit set in both this vector and @p o (ascending),
      * without materializing the intersection: the word-at-a-time AND
      * scan used by the link scheduler's eligibility walk.
@@ -242,8 +273,6 @@ class BitVector
   private:
     /** Clear the unused bits of the last word. */
     void trimTail();
-
-    static constexpr std::size_t kWordBits = 64;
 
     std::size_t numBits = 0;
     std::vector<std::uint64_t> words;

@@ -92,6 +92,23 @@ topologyFromSpec(const std::string &spec, std::uint64_t seed)
         return Topology::ring(parse_uint(args));
     if (kind == "star")
         return Topology::star(parse_uint(args));
+    if (kind == "min") {
+        const auto c = args.find(':');
+        if (c == std::string::npos)
+            mmr_fatal("'min' spec needs RADIX:STAGES: '", spec, "'");
+        return Topology::multistage(parse_uint(args.substr(0, c)),
+                                    parse_uint(args.substr(c + 1)));
+    }
+    if (kind == "fattree")
+        return Topology::fatTree(parse_uint(args));
+    if (kind == "leafspine") {
+        const auto c = args.find(':');
+        if (c == std::string::npos)
+            mmr_fatal("'leafspine' spec needs SPINES:LEAVES: '", spec,
+                      "'");
+        return Topology::leafSpine(parse_uint(args.substr(0, c)),
+                                   parse_uint(args.substr(c + 1)));
+    }
     if (kind == "irregular") {
         const auto c1 = args.find(':');
         const auto c2 =
@@ -107,7 +124,8 @@ topologyFromSpec(const std::string &spec, std::uint64_t seed)
         return Topology::irregular(n, extra, maxdeg, trng);
     }
     mmr_fatal("unknown topology kind '", kind, "' in '", spec,
-              "' (mesh/torus/ring/star/irregular)");
+              "' (mesh/torus/ring/star/irregular/min/fattree/"
+              "leafspine)");
 }
 
 NetworkExperimentResult

@@ -230,20 +230,26 @@ NetworkInterface::tick(Cycle now)
             droppedInRecovery += s.source->arrivals(now);
             continue;
         }
+        const unsigned n = s.source->arrivals(now);
+        if (n == 0 && s.backlog.empty())
+            continue; // idle cycle: skip the endpoint resolution
+        // Flit-batch processing per (port, VC): every flit this
+        // stream sends this cycle lands in the same input FIFO, so
+        // the connection-map lookups are paid once per (stream,
+        // cycle) instead of once per flit.
+        Network::InjectHandle ep = net.resolveInject(s.conn);
         // Drain the back-pressure backlog first, preserving order.
         while (!s.backlog.empty()) {
-            Flit f = s.backlog.front();
-            if (!net.inject(s.conn, f, now))
+            if (!ep.valid() || !ep.push(s.backlog.front(), now))
                 break;
             s.backlog.pop_front();
             ++injected;
         }
-        const unsigned n = s.source->arrivals(now);
         for (unsigned k = 0; k < n; ++k) {
             Flit f;
             f.seq = s.seq++;
             f.createTime = now;
-            if (!s.backlog.empty() || !net.inject(s.conn, f, now))
+            if (!s.backlog.empty() || !ep.valid() || !ep.push(f, now))
                 s.backlog.push_back(f);
             else
                 ++injected;

@@ -7,6 +7,7 @@
 #include "obs/flight_recorder.hh"
 #include "obs/trace.hh"
 #include "sim/invariant.hh"
+#include "sim/shard_pool.hh"
 #include "traffic/rates.hh"
 
 namespace mmr
@@ -16,6 +17,37 @@ Network::Network(Topology topo_, NetworkConfig cfg_)
     : topo(std::move(topo_)), cfg(cfg_), rand(cfg_.seed),
       updownRoutes(std::make_unique<UpDownRouting>(topo))
 {
+    // Contiguous-id shard partition (computed before wiring: the
+    // router callbacks capture their owning shard).  Contiguity is
+    // what makes the mailbox drain order equal the serial loop order.
+    const unsigned nodes = topo.numNodes();
+    numShards = std::max(1u, std::min(cfg.shards, nodes));
+    shardStart.resize(numShards + 1);
+    shardOf.resize(nodes);
+    const unsigned base = nodes / numShards;
+    const unsigned rem = nodes % numShards;
+    NodeId next = 0;
+    for (unsigned s = 0; s < numShards; ++s) {
+        shardStart[s] = next;
+        next += base + (s < rem ? 1 : 0);
+    }
+    shardStart[numShards] = next;
+    for (unsigned s = 0; s < numShards; ++s)
+        for (NodeId n = shardStart[s]; n < shardStart[s + 1]; ++n)
+            shardOf[n] = s;
+    mailboxes = std::vector<ShardMailbox>(numShards);
+    if (numShards > 1) {
+        pool = std::make_unique<ShardPool>(numShards);
+        evalPhase = [this](unsigned s) {
+            for (NodeId n = shardStart[s]; n < shardStart[s + 1]; ++n)
+                routers[n]->evaluate(phaseCycle);
+        };
+        advPhase = [this](unsigned s) {
+            for (NodeId n = shardStart[s]; n < shardStart[s + 1]; ++n)
+                routers[n]->advance(phaseCycle);
+        };
+    }
+
     routers.reserve(topo.numNodes());
     for (NodeId n = 0; n < topo.numNodes(); ++n) {
         RouterConfig rc = cfg.router;
@@ -174,32 +206,84 @@ Network::routerAt(NodeId n)
     return *routers[n];
 }
 
+// mmr-lint: allow(hot-path-alloc) amortized: the mailbox logs the
+// router callbacks append to keep their capacity across cycles, so a
+// steady-state parallel phase allocates nothing.
 void
 Network::wireRouter(NodeId n)
 {
+    // During a parallel phase (deferring == true) every callback
+    // becomes a mailbox record on the emitting router's shard instead
+    // of being applied inline: the inline bodies touch other routers
+    // (credit upstream, link queues, end-to-end stats), which a
+    // worker thread must not do.  The coordinator replays the logs
+    // after the barrier in shard order, which for a contiguous-id
+    // partition is exactly the serial loop's ascending-router order.
+    const unsigned shard = shardOf[n];
     routers[n]->setSink(
-        [this, n](PortId out, VcId out_vc, const Flit &f, Cycle now) {
+        [this, n, shard](PortId out, VcId out_vc, const Flit &f,
+                         Cycle now) {
+            if (deferring) {
+                DeferredEvent e;
+                e.kind = DeferredEvent::Kind::Egress;
+                e.node = n;
+                e.port = out;
+                e.vc = out_vc;
+                e.flit = f;
+                mailboxes[shard].log.push_back(e);
+                return;
+            }
             handleEgress(n, out, out_vc, f, now);
         });
     routers[n]->setCreditReturn(
-        [this, n](PortId in, VcId vc, Cycle now) {
+        [this, n, shard](PortId in, VcId vc, Cycle now) {
+            if (deferring) {
+                DeferredEvent e;
+                e.kind = DeferredEvent::Kind::Credit;
+                e.node = n;
+                e.port = in;
+                e.vc = vc;
+                mailboxes[shard].log.push_back(e);
+                return;
+            }
             handleCreditReturn(n, in, vc, now);
         });
-    routers[n]->setSegmentRemoved([this, n](const SegmentParams &seg) {
-        // A transient datagram segment owns its *link* input VC from
-        // the upstream router's output pool; the link VC is only free
-        // again once the packet has left this router, so the upstream
-        // allocation is released here rather than when the flit left
-        // the upstream router (that early release would let a new
-        // connection claim a VC whose buffer is still occupied).
-        if (!seg.releaseWhenEmpty || seg.in >= topo.degree(n))
-            return;
-        const NodeId upstream = topo.neighborAt(n, seg.in);
-        const PortId up_port = topo.portTowards(upstream, n);
-        routers[upstream]->routing().freeOutputVc(up_port, seg.inVc);
-    });
+    routers[n]->setSegmentRemoved(
+        [this, n, shard](const SegmentParams &seg) {
+            // A transient datagram segment owns its *link* input VC
+            // from the upstream router's output pool; the link VC is
+            // only free again once the packet has left this router, so
+            // the upstream allocation is released here rather than
+            // when the flit left the upstream router (that early
+            // release would let a new connection claim a VC whose
+            // buffer is still occupied).
+            if (!seg.releaseWhenEmpty || seg.in >= topo.degree(n))
+                return;
+            if (deferring) {
+                DeferredEvent e;
+                e.kind = DeferredEvent::Kind::SegRemoved;
+                e.node = n;
+                e.port = seg.in;
+                e.vc = seg.inVc;
+                e.seg = seg;
+                mailboxes[shard].log.push_back(e);
+                return;
+            }
+            handleSegmentRemoved(n, seg);
+        });
 }
 
+void
+Network::handleSegmentRemoved(NodeId n, const SegmentParams &seg)
+{
+    const NodeId upstream = topo.neighborAt(n, seg.in);
+    const PortId up_port = topo.portTowards(upstream, n);
+    routers[upstream]->routing().freeOutputVc(up_port, seg.inVc);
+}
+
+// mmr-lint: allow(hot-path-alloc) amortized: linkQueue is a deque
+// whose block churn is bounded by the number of in-flight link flits
+// (same recycling argument as processArrivals).
 void
 Network::handleEgress(NodeId n, PortId out, VcId out_vc, const Flit &f,
                       Cycle now)
@@ -583,6 +667,43 @@ Network::inject(ConnId id, Flit f, Cycle now)
     return true;
 }
 
+Network::InjectHandle
+Network::resolveInject(ConnId id)
+{
+    InjectHandle h;
+    auto it = pcs.find(id);
+    if (it == pcs.end() || it->second.failed || it->second.closing)
+        return h; // torn down: invalid handle, push() would refuse
+    const PcsConnection &conn = it->second;
+    const SegmentParams *seg = routers[conn.src]->connection(id);
+    mmr_assert(seg != nullptr,
+               "open connection without a source segment");
+    h.net = this;
+    h.router = routers[conn.src].get();
+    h.conn = id;
+    h.src = conn.src;
+    h.dst = conn.dst;
+    h.in = seg->in;
+    h.inVc = seg->inVc;
+    h.klass = seg->klass;
+    return h;
+}
+
+bool
+Network::InjectHandle::push(Flit f, Cycle now)
+{
+    f.conn = conn;
+    f.klass = klass;
+    f.src = src;
+    f.dst = dst;
+    f.readyTime = now;
+    if (!router->injectRaw(in, inVc, f)) {
+        ++net->statInjectRejects;
+        return false;
+    }
+    return true;
+}
+
 bool
 Network::renegotiateBandwidth(ConnId id, double new_rate_bps)
 {
@@ -853,18 +974,67 @@ Network::processArrivals(Cycle now)
 void
 Network::evaluate(Cycle now)
 {
+    // Serial prologue on the coordinator: the probe protocol, link
+    // arrivals, and pending closes all run before any router
+    // evaluates (in the serial path they always did), so routers
+    // never observe partial prologue state from a worker thread.
     probeMgr->step(now);
     processArrivals(now);
     processPendingCloses();
-    for (auto &r : routers)
-        r->evaluate(now);
+    if (numShards <= 1) {
+        for (auto &r : routers)
+            r->evaluate(now);
+        return;
+    }
+    phaseCycle = now;
+    deferring = true;
+    pool->runPhase(now, evalPhase);
+    deferring = false;
+    drainMailboxes(now);
 }
 
 void
 Network::advance(Cycle now)
 {
-    for (auto &r : routers)
-        r->advance(now);
+    if (numShards <= 1) {
+        for (auto &r : routers)
+            r->advance(now);
+        return;
+    }
+    phaseCycle = now;
+    deferring = true;
+    pool->runPhase(now, advPhase);
+    deferring = false;
+    drainMailboxes(now);
+}
+
+void
+Network::drainMailboxes(Cycle now)
+{
+    // Deterministic merge: ascending shard id, per-shard append
+    // (emission) order.  With contiguous-id partitions this replays
+    // every deferred side effect — link-queue pushes, corrupt-hook
+    // RNG draws, upstream credit returns, end-to-end FP accumulation —
+    // in exactly the order the serial loop produced them, which is
+    // what keeps networkResultDigest bit-identical across shard
+    // counts (DESIGN.md §12).
+    for (unsigned s = 0; s < numShards; ++s) {
+        auto &log = mailboxes[s].log;
+        for (const DeferredEvent &e : log) {
+            switch (e.kind) {
+            case DeferredEvent::Kind::Egress:
+                handleEgress(e.node, e.port, e.vc, e.flit, now);
+                break;
+            case DeferredEvent::Kind::Credit:
+                handleCreditReturn(e.node, e.port, e.vc, now);
+                break;
+            case DeferredEvent::Kind::SegRemoved:
+                handleSegmentRemoved(e.node, e.seg);
+                break;
+            }
+        }
+        log.clear();
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -37,6 +37,8 @@
 namespace mmr
 {
 
+class ShardPool;
+
 struct NetworkConfig
 {
     /** Per-router template; numPorts is overridden per node. */
@@ -44,6 +46,16 @@ struct NetworkConfig
     Cycle linkLatency = 1;       ///< flit cycles per inter-router hop
     double probeHopCycles = 2.0; ///< setup-latency model per probe step
     std::uint64_t seed = 7;
+
+    /**
+     * Intra-run parallelism: partition the routers into this many
+     * contiguous-id shards, each evaluated/advanced on its own worker
+     * thread with cross-shard traffic deferred through per-shard
+     * mailboxes (drained in shard order, so results are bit-identical
+     * to shards=1).  Clamped to the node count; 0 or 1 selects the
+     * serial path.
+     */
+    unsigned shards = 1;
 };
 
 class Network : public Clocked
@@ -58,6 +70,12 @@ class Network : public Clocked
     unsigned numNodes() const { return topo.numNodes(); }
     const Topology &topology() const { return topo; }
     const UpDownRouting &updown() const { return *updownRoutes; }
+
+    /** Effective shard count (config value clamped to the node count). */
+    unsigned shards() const { return numShards; }
+
+    /** Shard owning router @p n (contiguous-id partition). */
+    unsigned shardOfNode(NodeId n) const { return shardOf[n]; }
 
     /** Host-interface port index of a node's router. */
     PortId niPort(NodeId n) const { return topo.degree(n); }
@@ -128,6 +146,43 @@ class Network : public Clocked
 
     /** Inject a stream flit at the source host; false on back-pressure. */
     bool inject(ConnId id, Flit f, Cycle now);
+
+    /**
+     * Resolved injection endpoint — flit-batch processing per
+     * (port, VC).  resolveInject() pays the two per-connection hash
+     * lookups (network connection map, then the source router's
+     * segment map) once; every push() after that deposits straight
+     * into the resolved (input port, VC) FIFO.  A handle is only good
+     * for the flit cycle it was resolved in: teardown and link
+     * failure happen between host ticks (in the network's evaluate
+     * prologue), so a host interface that re-resolves each tick stays
+     * bit-identical to calling inject() per flit.
+     */
+    class InjectHandle
+    {
+      public:
+        /** False when the connection is torn down — inject() would
+         *  refuse every flit, and so does push(). */
+        bool valid() const { return router != nullptr; }
+
+        /** Deposit one flit; false on back-pressure (identical
+         *  accounting and trace events to Network::inject). */
+        bool push(Flit f, Cycle now);
+
+      private:
+        friend class Network;
+        Network *net = nullptr;
+        MmrRouter *router = nullptr;
+        ConnId conn = kInvalidConn;
+        NodeId src = 0;
+        NodeId dst = 0;
+        PortId in = 0;
+        VcId inVc = 0;
+        TrafficClass klass = TrafficClass::CBR;
+    };
+
+    /** Resolve @p id for batched injection this flit cycle. */
+    InjectHandle resolveInject(ConnId id);
 
     /**
      * Renegotiate a CBR connection's bandwidth along its whole path
@@ -302,7 +357,69 @@ class Network : public Clocked
     void handleEgress(NodeId n, PortId out, VcId out_vc, const Flit &f,
                       Cycle now);
     void handleCreditReturn(NodeId n, PortId in, VcId vc, Cycle now);
+    void handleSegmentRemoved(NodeId n, const SegmentParams &seg);
     void deliverToHost(NodeId n, const Flit &f, Cycle now);
+
+    // ------------------------------------------------------------------
+    // Shard-parallel evaluation core
+    // ------------------------------------------------------------------
+
+    /**
+     * One router callback captured during a parallel phase instead of
+     * being applied inline.  A worker only ever touches its own
+     * shard's routers plus its own shard's mailbox; every cross-shard
+     * (and cross-router) side effect — link egress, upstream credit
+     * return, upstream VC release on segment removal — becomes one of
+     * these records, replayed by the coordinator after the phase
+     * barrier in ascending shard order.  Within a shard the log is
+     * append-ordered, so the replay order equals the ascending-
+     * router-id emission order of the serial loop and the results are
+     * bit-identical (see DESIGN.md §12 for the full argument).
+     */
+    struct DeferredEvent
+    {
+        enum class Kind : std::uint8_t
+        {
+            Egress,    ///< sink callback: flit leaving a router
+            Credit,    ///< credit return toward the upstream router
+            SegRemoved ///< datagram segment freed its upstream link VC
+        };
+
+        Kind kind;
+        NodeId node;
+        PortId port; ///< Egress: out port; Credit: in port
+        VcId vc;     ///< Egress: out VC;   Credit: in VC
+        Flit flit;   ///< Egress only
+        SegmentParams seg; ///< SegRemoved only
+    };
+
+    /** Per-shard deferred-event log, cache-line padded: neighboring
+     * shards append concurrently, and without the alignas the logs'
+     * size/capacity words would false-share one line. */
+    struct alignas(64) ShardMailbox
+    {
+        std::vector<DeferredEvent> log;
+    };
+
+    /** Replay every mailbox in (shard, emission) order, then clear. */
+    MMR_HOT_PATH void drainMailboxes(Cycle now);
+
+    unsigned numShards = 1;
+    std::vector<NodeId> shardStart; ///< numShards+1 fenceposts
+    std::vector<unsigned> shardOf;  ///< node id -> shard id
+    std::vector<ShardMailbox> mailboxes;
+    std::unique_ptr<ShardPool> pool;
+
+    /** True only while routers run under the pool: router callbacks
+     * append to mailboxes instead of applying inline.  Written by the
+     * coordinator before/after each phase; workers read it under the
+     * pool's release/acquire barrier. */
+    bool deferring = false;
+
+    /** Pre-bound phase callbacks (no per-cycle allocation). */
+    std::function<void(unsigned)> evalPhase;
+    std::function<void(unsigned)> advPhase;
+    Cycle phaseCycle = 0;
 
     /**
      * Try to give a datagram its next hop at @p node: pick an output

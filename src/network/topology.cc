@@ -168,6 +168,88 @@ Topology::star(unsigned leaves)
 }
 
 Topology
+Topology::multistage(unsigned radix, unsigned stages)
+{
+    mmr_assert(radix >= 2, "MIN radix must be at least 2");
+    mmr_assert(stages >= 2, "MIN needs at least 2 stages");
+
+    // Switches per stage: radix^(stages-1), with overflow guard.
+    unsigned width = 1;
+    for (unsigned i = 1; i < stages; ++i) {
+        mmr_assert(width <= (1u << 24) / radix,
+                   "MIN size overflows: radix ", radix, " stages ",
+                   stages);
+        width *= radix;
+    }
+
+    Topology t(stages * width);
+    auto id = [width](unsigned stage, unsigned pos) {
+        return stage * width + pos;
+    };
+
+    // Butterfly wiring: between stages i and i+1, vary base-radix
+    // digit (stages-2-i) of the switch position through all radix
+    // values.  Varying the most significant digit first gives the
+    // classic butterfly picture with stage 0 on top.
+    for (unsigned i = 0; i + 1 < stages; ++i) {
+        unsigned digit_weight = 1;
+        for (unsigned d = 0; d < stages - 2 - i; ++d)
+            digit_weight *= radix;
+        for (unsigned j = 0; j < width; ++j) {
+            const unsigned digit = (j / digit_weight) % radix;
+            const unsigned base = j - digit * digit_weight;
+            for (unsigned v = 0; v < radix; ++v)
+                t.addLink(id(i, j), id(i + 1, base + v * digit_weight));
+        }
+    }
+    return t;
+}
+
+Topology
+Topology::fatTree(unsigned radix)
+{
+    mmr_assert(radix >= 4 && radix % 2 == 0,
+               "fat-tree radix must be even and at least 4");
+    const unsigned half = radix / 2;
+    const unsigned cores = half * half;
+    const unsigned per_pod = radix; // half aggregation + half edge
+    Topology t(cores + radix * per_pod);
+
+    // Ids: cores [0, cores), then pod p's aggregation switches
+    // followed by its edge switches.
+    auto agg = [&](unsigned pod, unsigned j) {
+        return cores + pod * per_pod + j;
+    };
+    auto edge = [&](unsigned pod, unsigned j) {
+        return cores + pod * per_pod + half + j;
+    };
+
+    for (unsigned p = 0; p < radix; ++p) {
+        for (unsigned j = 0; j < half; ++j) {
+            // Aggregation switch j uplinks to its core group.
+            for (unsigned c = 0; c < half; ++c)
+                t.addLink(agg(p, j), j * half + c);
+            // Every edge switch links to every aggregation switch.
+            for (unsigned e = 0; e < half; ++e)
+                t.addLink(agg(p, j), edge(p, e));
+        }
+    }
+    return t;
+}
+
+Topology
+Topology::leafSpine(unsigned spines, unsigned leaves)
+{
+    mmr_assert(spines >= 1 && leaves >= 1,
+               "leaf-spine needs at least one spine and one leaf");
+    Topology t(spines + leaves);
+    for (unsigned l = 0; l < leaves; ++l)
+        for (unsigned s = 0; s < spines; ++s)
+            t.addLink(spines + l, s);
+    return t;
+}
+
+Topology
 Topology::irregular(unsigned n, unsigned extra_links, unsigned max_degree,
                     Rng &rng)
 {

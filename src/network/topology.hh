@@ -86,6 +86,34 @@ class Topology
     static Topology irregular(unsigned n, unsigned extra_links,
                               unsigned max_degree, Rng &rng);
 
+    /**
+     * k-ary multistage interconnection network (butterfly MIN): @p
+     * stages stages of radix^(stages-1) switches each; switch j of
+     * stage i links to the @p radix switches of stage i+1 whose base-
+     * radix representation differs from j only in digit stages-2-i.
+     * Every switch is a router with its own host, so the generator
+     * scales runs to stages * radix^(stages-1) routers — the large-MIN
+     * setting of the Stergiou multistage analysis.
+     */
+    static Topology multistage(unsigned radix, unsigned stages);
+
+    /**
+     * Three-tier k-ary fat-tree (@p radix even, >= 4): radix pods of
+     * radix/2 edge + radix/2 aggregation switches, plus (radix/2)^2
+     * core switches; edge switches link to every aggregation switch
+     * in their pod, and aggregation switch j of each pod links to core
+     * switches [j*radix/2, (j+1)*radix/2).  Node ids: cores first,
+     * then pod by pod (aggregation before edge).
+     */
+    static Topology fatTree(unsigned radix);
+
+    /**
+     * Two-tier leaf-spine fabric: every leaf links to every spine
+     * (complete bipartite).  Node ids: spines [0, spines), leaves
+     * after.
+     */
+    static Topology leafSpine(unsigned spines, unsigned leaves);
+
   private:
     std::vector<std::vector<PortInfo>> adj;
     unsigned links = 0;

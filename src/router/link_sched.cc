@@ -1,6 +1,7 @@
 #include "router/link_sched.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "base/logging.hh"
 
@@ -8,11 +9,13 @@ namespace mmr
 {
 
 LinkScheduler::LinkScheduler(PortId port, VcMemory *memory,
+                             unsigned num_ports,
                              PriorityPolicy policy,
                              unsigned cycles_per_round,
                              bool random_candidates)
-    : inPort(port), mem(memory), prioPolicy(policy),
-      roundLen(cycles_per_round), randomCandidates(random_candidates),
+    : inPort(port), mem(memory), numOutPorts(num_ports),
+      prioPolicy(policy), roundLen(cycles_per_round),
+      randomCandidates(random_candidates),
       nextRoundStart(cycles_per_round)
 {
     mmr_assert(mem != nullptr, "link scheduler needs a VC memory");
@@ -88,13 +91,28 @@ LinkScheduler::refreshEligMask(const CreditManager &credits, bool force)
         eligValid = true;
         ++fullRebuilds;
     } else {
-        // Incremental: only the VCs whose scheduling inputs moved
-        // since the last refresh can have changed their bit.
-        mem->schedDirtyMask().forEachSet([this,
-                                          &credits](std::size_t v) {
-            eligMask.assign(
-                v, eligible(mem->vc(static_cast<VcId>(v)), credits));
-        });
+        // Incremental, word-parallel: only the VCs whose scheduling
+        // inputs moved since the last refresh can have changed their
+        // bit.  A dirty VC with no buffered flit cannot be eligible
+        // (eligible() requires an ungranted flit, which requires a
+        // buffered one), so whole words of drained channels are
+        // cleared with one AND-NOT and only the dirty VCs that still
+        // hold flits pay the per-channel eligibility test — the
+        // word-level form of the §4.1 status-vector AND.
+        const BitVector &avail = mem->flitsAvailable();
+        mem->schedDirtyMask().forEachSetWord(
+            [this, &credits, &avail](std::size_t wi, std::uint64_t d) {
+                eligMask.clearWordBits(wi, d);
+                std::uint64_t live = d & avail.word(wi);
+                while (live) {
+                    const auto v = static_cast<VcId>(
+                        wi * BitVector::kWordBits +
+                        static_cast<std::size_t>(std::countr_zero(live)));
+                    if (eligible(mem->vc(v), credits))
+                        eligMask.set(v);
+                    live &= live - 1;
+                }
+            });
         ++incrementalRefreshes;
     }
     seenCreditVersion = credit_ver;
@@ -126,7 +144,7 @@ LinkScheduler::collectCandidates(Cycle now, unsigned max_candidates,
     // candidate set over distinct outputs is what "increases the
     // probability of fully utilizing the switch bandwidth" (§4.4).
     if (bestPerOutput.empty())
-        bestPerOutput.assign(mem->numVcs(), kInvalidVc);
+        bestPerOutput.assign(numOutPorts, kInvalidVc);
     scratch.clear();
     touchedOutputs.clear();
 

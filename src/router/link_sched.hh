@@ -47,13 +47,15 @@ class LinkScheduler
     /**
      * @param port input port this scheduler serves
      * @param memory the port's virtual channel memory
+     * @param num_ports router port count (output-port id range)
      * @param policy head-flit priority policy
      * @param cycles_per_round round length (K x V)
      * @param random_candidates pick candidates uniformly among the
      *        eligible VCs instead of by priority (Autonet mode)
      */
-    LinkScheduler(PortId port, VcMemory *memory, PriorityPolicy policy,
-                  unsigned cycles_per_round, bool random_candidates);
+    LinkScheduler(PortId port, VcMemory *memory, unsigned num_ports,
+                  PriorityPolicy policy, unsigned cycles_per_round,
+                  bool random_candidates);
 
     /**
      * Reset per-round serviced counters at round boundaries.  Rounds
@@ -110,6 +112,7 @@ class LinkScheduler
 
     PortId inPort;
     VcMemory *mem;
+    unsigned numOutPorts; ///< sizes the per-output dedup table
     PriorityPolicy prioPolicy;
     unsigned roundLen;
     bool randomCandidates;

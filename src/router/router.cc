@@ -42,8 +42,9 @@ MmrRouter::MmrRouter(const RouterConfig &cfg_, MetricsRecorder *metrics_)
     phitBufs.reserve(cfg.numPorts);
     for (PortId p = 0; p < cfg.numPorts; ++p) {
         inputMems.emplace_back(cfg.vcsPerPort, cfg.vcBufferFlits);
-        linkScheds.emplace_back(p, &inputMems.back(), policy,
-                                cfg.cyclesPerRound(), random_candidates);
+        linkScheds.emplace_back(p, &inputMems.back(), cfg.numPorts,
+                                policy, cfg.cyclesPerRound(),
+                                random_candidates);
         // §3.2: deep enough for the phits arriving during one decode
         // period, plus headroom for a couple of back-to-back probes.
         phitBufs.emplace_back(

@@ -303,7 +303,13 @@ class MmrRouter : public Clocked
     std::vector<std::pair<PortId, PortId>> configScratch;
     std::vector<std::pair<PortId, PortId>> lastConfig; ///< reconfig cmp
 
-    std::uint64_t statInjected = 0;
+    // Hot statistic counters (the values StatsRegistry probes bind
+    // to), bumped every cycle by whichever shard worker owns this
+    // router.  Cache-line aligned so the block never shares a line
+    // with memory another shard's thread writes — with one router per
+    // heap allocation the only cross-thread neighbors are allocator-
+    // adjacent objects, and the alignment severs exactly that.
+    alignas(64) std::uint64_t statInjected = 0;
     std::uint64_t statForwarded = 0;
     std::uint64_t statByClass[4] = {0, 0, 0, 0};
     std::uint64_t statBypassHits = 0;

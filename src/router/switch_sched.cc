@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 
 #include "base/logging.hh"
 #include "sim/invariant.hh"
@@ -156,6 +157,41 @@ augment(PortId in, const std::vector<std::vector<const Candidate *>> &req,
     return false;
 }
 
+/**
+ * Merge-path variant of augment(): input @p in's request list is the
+ * contiguous run per_input[in][seg_begin[in], seg_end[in]) — the
+ * current tier's slice of its pre-sorted candidate list — traversed in
+ * place (no per-tier pointer vectors).  Skipping out_masked outputs
+ * here is equivalent to filtering them while building req[]: both see
+ * the tier-entry snapshot of out_masked, in the same candidate order.
+ */
+bool
+augmentRun(unsigned in,
+           const std::vector<std::vector<Candidate>> &per_input,
+           const std::uint32_t *seg_begin, const std::uint32_t *seg_end,
+           std::vector<unsigned> &holder,
+           std::vector<const Candidate *> &choice,
+           std::vector<bool> &visited, const std::vector<bool> &out_masked,
+           unsigned num_ports)
+{
+    const Candidate *base = per_input[in].data();
+    for (std::uint32_t i = seg_begin[in]; i < seg_end[in]; ++i) {
+        const Candidate *c = base + i;
+        const PortId out = c->out;
+        if (out_masked[out] || visited[out])
+            continue;
+        visited[out] = true;
+        if (holder[out] == num_ports ||
+            augmentRun(holder[out], per_input, seg_begin, seg_end,
+                       holder, choice, visited, out_masked, num_ports)) {
+            holder[out] = in;
+            choice[in] = c;
+            return true;
+        }
+    }
+    return false;
+}
+
 } // namespace
 
 // mmr-lint: allow(hot-path-alloc) amortized: the matching and
@@ -168,6 +204,55 @@ GreedyPriorityScheduler::scheduleInto(
 {
     (void)rng; // tie-break randomness is pre-drawn in Candidate::tie
     out.clear();
+
+    for (PortId p = 0; p < numPorts; ++p) {
+        inTaken[p] = masks.busyIn.test(p);
+        outTaken[p] = masks.busyOut.test(p);
+    }
+
+    // Router-shaped inputs — list p holds input port p's candidates,
+    // already sorted by (tier, prio, tie) by the link scheduler, with
+    // in-range ports — take the merge path, which skips the global
+    // flat sort.  Anything else (hand-built test inputs) falls back to
+    // the general path.  The scan is cheap: the lists were written
+    // this cycle and are still cache-hot.
+    bool router_shaped = per_input.size() <= numPorts;
+    for (std::size_t p = 0; router_shaped && p < per_input.size(); ++p) {
+        const auto &cands = per_input[p];
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            const Candidate &c = cands[i];
+            if (c.in != static_cast<PortId>(p) || c.out >= numPorts) {
+                router_shaped = false;
+                break;
+            }
+            if (i == 0)
+                continue;
+            const Candidate &prev = cands[i - 1];
+            const bool in_order =
+                c.tier < prev.tier ||
+                (c.tier == prev.tier &&
+                 (c.prio < prev.prio ||
+                  (c.prio == prev.prio && c.tie <= prev.tie)));
+            if (!in_order) {
+                router_shaped = false;
+                break;
+            }
+        }
+    }
+
+    if (router_shaped)
+        scheduleMerge(per_input, out);
+    else
+        scheduleFlat(per_input, out);
+}
+
+// mmr-lint: allow(hot-path-alloc) amortized: the matching and
+// any per-call scratch reuse caller/member capacity across
+// cycles (verified dynamically by test_zero_alloc).
+void
+GreedyPriorityScheduler::scheduleFlat(
+    const std::vector<std::vector<Candidate>> &per_input, Matching &out)
+{
     flat.clear();
     for (const auto &cands : per_input)
         for (const Candidate &c : cands)
@@ -190,11 +275,6 @@ GreedyPriorityScheduler::scheduleInto(
                       return a->prio > b->prio;
                   return a->tie > b->tie;
               });
-
-    for (PortId p = 0; p < numPorts; ++p) {
-        inTaken[p] = masks.busyIn.test(p);
-        outTaken[p] = masks.busyOut.test(p);
-    }
 
     std::size_t tier_begin = 0;
     while (tier_begin < flat.size()) {
@@ -233,6 +313,88 @@ GreedyPriorityScheduler::scheduleInto(
             }
         }
         tier_begin = tier_end;
+    }
+}
+
+// mmr-lint: allow(hot-path-alloc) amortized: segPos/segBegin/segEnd/
+// attemptOrder are members sized once per port count; their capacity
+// persists across cycles (verified dynamically by test_zero_alloc).
+void
+GreedyPriorityScheduler::scheduleMerge(
+    const std::vector<std::vector<Candidate>> &per_input, Matching &out)
+{
+    const auto nin = static_cast<unsigned>(per_input.size());
+    segPos.assign(nin, 0);
+    segBegin.resize(nin);
+    segEnd.resize(nin);
+    if (attemptOrder.size() < nin)
+        attemptOrder.resize(nin);
+
+    // Tiers arrive in descending order within every list, so the
+    // highest tier among the per-input cursors is the next tier the
+    // flat sort would have produced; its candidates are exactly the
+    // per-input runs at the cursors.
+    for (;;) {
+        constexpr int kNoTier = std::numeric_limits<int>::min();
+        int tier = kNoTier;
+        for (unsigned p = 0; p < nin; ++p) {
+            if (segPos[p] < per_input[p].size())
+                tier = std::max(tier, per_input[p][segPos[p]].tier);
+        }
+        if (tier == kNoTier)
+            break;
+
+        // Slice this tier's run out of each list.  The runs double as
+        // the per-input request lists: they are already in (prio, tie)
+        // order, which is what the flat path's req[] held.
+        unsigned n_attempt = 0;
+        for (unsigned p = 0; p < nin; ++p) {
+            const auto &cands = per_input[p];
+            segBegin[p] = segEnd[p] = segPos[p];
+            if (segPos[p] < cands.size() &&
+                cands[segPos[p]].tier == tier) {
+                std::uint32_t e = segPos[p];
+                while (e < cands.size() && cands[e].tier == tier)
+                    ++e;
+                segEnd[p] = e;
+                segPos[p] = e;
+                attemptOrder[n_attempt++] = p;
+            }
+        }
+
+        // The flat path attempts one augmenting search per input, in
+        // the order of each input's first appearance in the globally
+        // sorted candidate stream — i.e. by the rank of its best
+        // candidate.  Sorting one head per input reproduces it.
+        std::sort(attemptOrder.begin(),
+                  attemptOrder.begin() + n_attempt,
+                  [&](unsigned a, unsigned b) {
+                      const Candidate &ca = per_input[a][segBegin[a]];
+                      const Candidate &cb = per_input[b][segBegin[b]];
+                      if (ca.prio != cb.prio)
+                          return ca.prio > cb.prio;
+                      return ca.tie > cb.tie;
+                  });
+
+        for (PortId p = 0; p < numPorts; ++p) {
+            holder[p] = numPorts;
+            choice[p] = nullptr;
+        }
+        for (unsigned k = 0; k < n_attempt; ++k) {
+            const unsigned in = attemptOrder[k];
+            if (inTaken[in])
+                continue;
+            std::fill(visited.begin(), visited.end(), false);
+            augmentRun(in, per_input, segBegin.data(), segEnd.data(),
+                       holder, choice, visited, outTaken, numPorts);
+        }
+        for (PortId in = 0; in < numPorts; ++in) {
+            if (choice[in] != nullptr) {
+                out.push_back(*choice[in]);
+                inTaken[in] = true;
+                outTaken[choice[in]->out] = true;
+            }
+        }
     }
 }
 

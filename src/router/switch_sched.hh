@@ -123,6 +123,23 @@ class GreedyPriorityScheduler : public SwitchScheduler
     std::string name() const override { return "greedy-priority"; }
 
   private:
+    /**
+     * Fast path for router-shaped inputs: every per-input list is
+     * already sorted by (tier, prio, tie) — the link scheduler emits
+     * exactly this order — so the global sort collapses to walking
+     * per-input tier runs and ordering at most one head candidate per
+     * input.  Results are identical to the flat sort (same augmenting
+     * order, same grants); only the work to derive the order shrinks.
+     */
+    void scheduleMerge(
+        const std::vector<std::vector<Candidate>> &per_input,
+        Matching &out);
+
+    /** General path: arbitrary candidate lists (tests, adapters). */
+    void scheduleFlat(
+        const std::vector<std::vector<Candidate>> &per_input,
+        Matching &out);
+
     unsigned numPorts;
 
     // Per-cycle scratch, reused so steady state allocates nothing.
@@ -137,6 +154,13 @@ class GreedyPriorityScheduler : public SwitchScheduler
     std::vector<bool> visited;
     std::vector<bool> inTaken;
     std::vector<bool> outTaken;
+
+    // Merge-path scratch: per-input cursors and the bounds of the
+    // current tier's run inside each (pre-sorted) candidate list.
+    std::vector<std::uint32_t> segPos;
+    std::vector<std::uint32_t> segBegin;
+    std::vector<std::uint32_t> segEnd;
+    std::vector<unsigned> attemptOrder;
 };
 
 /**

@@ -59,17 +59,34 @@ withPointOutputs(const ExperimentConfig &cfg, std::size_t index,
 
 } // namespace
 
+namespace
+{
+
+/**
+ * Per-point result slot, cache-line padded: neighboring points are
+ * written by different worker threads, and without the alignment two
+ * adjacent results could share a line (false sharing — every store by
+ * one worker invalidating the other's cache).  Results are copied out
+ * to a plain vector once the pool drains.
+ */
+struct alignas(64) PaddedResult
+{
+    ExperimentResult r;
+};
+
+} // namespace
+
 std::vector<ExperimentResult>
 runExperiments(
     const std::vector<ExperimentConfig> &cfgs, unsigned jobs,
     const std::function<void(std::size_t, const ExperimentResult &)>
         &onDone)
 {
-    std::vector<ExperimentResult> results(cfgs.size());
     if (cfgs.empty())
-        return results;
+        return {};
 
     if (jobs <= 1) {
+        std::vector<ExperimentResult> results(cfgs.size());
         for (std::size_t i = 0; i < cfgs.size(); ++i) {
             results[i] = runSingleRouter(
                 withPointOutputs(cfgs[i], i, cfgs.size()));
@@ -82,6 +99,7 @@ runExperiments(
     jobs = std::min<unsigned>(jobs,
                               static_cast<unsigned>(cfgs.size()));
 
+    std::vector<PaddedResult> slots(cfgs.size());
     std::atomic<std::size_t> next{0};
     std::mutex doneMutex;
     std::exception_ptr firstError;
@@ -93,7 +111,7 @@ runExperiments(
             if (i >= cfgs.size())
                 return;
             try {
-                results[i] = runSingleRouter(
+                slots[i].r = runSingleRouter(
                     withPointOutputs(cfgs[i], i, cfgs.size()));
             } catch (...) {
                 std::lock_guard<std::mutex> lock(doneMutex);
@@ -103,7 +121,7 @@ runExperiments(
             }
             if (onDone) {
                 std::lock_guard<std::mutex> lock(doneMutex);
-                onDone(i, results[i]);
+                onDone(i, slots[i].r);
             }
         }
     };
@@ -117,6 +135,11 @@ runExperiments(
 
     if (firstError)
         std::rethrow_exception(firstError);
+
+    std::vector<ExperimentResult> results;
+    results.reserve(cfgs.size());
+    for (PaddedResult &slot : slots)
+        results.push_back(std::move(slot.r));
     return results;
 }
 

@@ -103,5 +103,74 @@ TEST_P(IrregularTopologyProperty, ConnectedAndDegreeBounded)
 INSTANTIATE_TEST_SUITE_P(Seeds, IrregularTopologyProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+TEST(Topology, MultistageButterflyShape)
+{
+    // 2-ary 3-stage butterfly: 4 switches per stage, 12 nodes.
+    const Topology t = Topology::multistage(2, 3);
+    EXPECT_EQ(t.numNodes(), 12u);
+    EXPECT_TRUE(t.connected());
+    // End stages have radix links, middle stages 2*radix.
+    for (NodeId n = 0; n < 4; ++n) {
+        EXPECT_EQ(t.degree(n), 2u) << "stage 0 node " << n;
+        EXPECT_EQ(t.degree(8 + n), 2u) << "stage 2 node " << n;
+        EXPECT_EQ(t.degree(4 + n), 4u) << "stage 1 node " << n;
+    }
+    // Stage 0 switch 0 varies the most significant digit: reaches
+    // stage-1 switches 0 and 2.
+    EXPECT_TRUE(t.hasLink(0, 4));
+    EXPECT_TRUE(t.hasLink(0, 6));
+    EXPECT_FALSE(t.hasLink(0, 5));
+    // No links within a stage or skipping a stage.
+    EXPECT_FALSE(t.hasLink(0, 1));
+    EXPECT_FALSE(t.hasLink(0, 8));
+}
+
+TEST(Topology, MultistageScalesToThousandsOfRouters)
+{
+    // radix 4, 6 stages: 4^5 = 1024 switches per stage, 6144 total —
+    // the >=1024-router regime of the scaling bench.
+    const Topology t = Topology::multistage(4, 6);
+    EXPECT_EQ(t.numNodes(), 6u * 1024u);
+    EXPECT_EQ(t.degree(0), 4u);
+    EXPECT_EQ(t.degree(1024), 8u);
+    EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, FatTreeShape)
+{
+    // k=4: 4 cores, 4 pods x (2 agg + 2 edge) = 20 nodes.
+    const Topology t = Topology::fatTree(4);
+    EXPECT_EQ(t.numNodes(), 20u);
+    EXPECT_TRUE(t.connected());
+    for (NodeId c = 0; c < 4; ++c)
+        EXPECT_EQ(t.degree(c), 4u) << "core " << c << " links to "
+                                      "one agg per pod";
+    for (unsigned pod = 0; pod < 4; ++pod) {
+        for (unsigned j = 0; j < 2; ++j) {
+            EXPECT_EQ(t.degree(4 + pod * 4 + j), 4u)
+                << "agg " << j << " of pod " << pod;
+            EXPECT_EQ(t.degree(4 + pod * 4 + 2 + j), 2u)
+                << "edge " << j << " of pod " << pod;
+        }
+    }
+    // Aggregation switch 0 of pod 0 uplinks to cores 0 and 1 only.
+    EXPECT_TRUE(t.hasLink(4, 0));
+    EXPECT_TRUE(t.hasLink(4, 1));
+    EXPECT_FALSE(t.hasLink(4, 2));
+}
+
+TEST(Topology, LeafSpineShape)
+{
+    const Topology t = Topology::leafSpine(3, 6);
+    EXPECT_EQ(t.numNodes(), 9u);
+    EXPECT_TRUE(t.connected());
+    for (NodeId s = 0; s < 3; ++s)
+        EXPECT_EQ(t.degree(s), 6u) << "spine " << s;
+    for (NodeId l = 3; l < 9; ++l)
+        EXPECT_EQ(t.degree(l), 3u) << "leaf " << l;
+    EXPECT_FALSE(t.hasLink(0, 1)) << "no spine-spine links";
+    EXPECT_FALSE(t.hasLink(3, 4)) << "no leaf-leaf links";
+}
+
 } // namespace
 } // namespace mmr

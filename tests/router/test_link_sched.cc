@@ -20,7 +20,7 @@ class LinkSchedTest : public ::testing::Test
   protected:
     LinkSchedTest()
         : mem(16, 8), credits(4, 16, 2),
-          sched(0, &mem, PriorityPolicy::Biased, 32, false), rng(9)
+          sched(0, &mem, 4, PriorityPolicy::Biased, 32, false), rng(9)
     {
         credits.setInfinite(true);
     }
