@@ -163,10 +163,22 @@ runNetworkExperiment(const NetworkExperimentConfig &cfg)
 
     FaultInjector injector(net, std::move(plan), cfg.seed + 101);
     RecoveryManager recovery(net, cfg.recovery, cfg.seed + 202);
+
+    // The churn engine is ticked with the hosts (coordinator-serial);
+    // its arrival schedule spans the loaded portion of the run, and
+    // all its draws live on sub-RNGs of a dedicated seed tweak.
+    std::unique_ptr<ChurnEngine> churn;
+    if (cfg.churn.enabled)
+        churn = std::make_unique<ChurnEngine>(
+            net, cfg.churn, cfg.warmupCycles + cfg.measureCycles,
+            cfg.seed ^ 0x5e5510bca5e1dULL);
+
     InvariantChecker checker;
     net.registerInvariants(checker, cfg.invariantPeriod);
     injector.registerInvariants(checker, cfg.invariantPeriod);
     recovery.registerInvariants(checker, cfg.invariantPeriod);
+    if (churn)
+        churn->registerInvariants(checker, cfg.invariantPeriod);
 
     Kernel kernel;
     kernel.registerInvariants(checker);
@@ -200,6 +212,8 @@ runNetworkExperiment(const NetworkExperimentConfig &cfg)
         for (Cycle c = 0; c < cycles; ++c) {
             for (auto &h : hosts)
                 h->tick(kernel.now());
+            if (churn)
+                churn->tick(kernel.now());
             kernel.step();
         }
     };
@@ -207,6 +221,8 @@ runNetworkExperiment(const NetworkExperimentConfig &cfg)
     run_for(cfg.warmupCycles);
     net.endToEnd().startMeasurement(kernel.now());
     run_for(cfg.measureCycles);
+    if (churn)
+        churn->beginDrain(kernel.now());
     run_for(cfg.drainCycles);
 
     r.cycles = kernel.now();
@@ -264,6 +280,28 @@ runNetworkExperiment(const NetworkExperimentConfig &cfg)
     r.connectionsAbandoned = recovery.connectionsAbandoned();
     r.probeTimeouts = net.probes().setupTimeouts();
     r.probeMessagesLost = net.probes().messagesLost();
+
+    if (churn) {
+        const SessionLedger &sl = churn->ledger();
+        r.sessionsArrived = sl.arrived;
+        r.sessionsAdmitted = sl.admitted;
+        r.sessionsRejected = sl.rejected;
+        r.sessionsRejectedBusy = sl.rejectedBusy;
+        r.sessionsCompleted = sl.completed;
+        r.sessionsAbandoned = sl.abandoned;
+        r.sessionAcceptance = sl.acceptanceRatio();
+        r.sessionPeakLive = churn->peakLiveSessions();
+        r.sessionPoolBytes = churn->poolBytes();
+        r.sessionLiveBytes = ChurnEngine::liveSessionBytes();
+        r.sessionFlitsInjected = churn->flitsInjected();
+        r.sessionFlitsDropped = churn->flitsDroppedBackpressure();
+        r.sessionsLeakedAtEnd = churn->liveSessions();
+        r.retiredConnRecorders = e2e.retiredConnections();
+        r.sessionSetupLatency = churn->setupLatency().summarize();
+    }
+    r.pendingSetupsAtEnd = net.pendingSetups();
+    r.openConnsAtEnd = net.openConnectionCount();
+
     r.invariantChecks = checker.checksRun();
     if (ownBlackBox)
         blackBox.deactivate();
@@ -306,8 +344,24 @@ networkResultDigest(const NetworkExperimentResult &r)
     h.addU64(r.qosViolations);
     h.addDouble(r.qosViolationRate);
     h.addU64(r.worstQosExcessCycles);
-    for (const LatencySummary *s :
-         {&r.cbrLatency, &r.linkTransitLatency}) {
+    h.addU64(r.sessionsArrived);
+    h.addU64(r.sessionsAdmitted);
+    h.addU64(r.sessionsRejected);
+    h.addU64(r.sessionsRejectedBusy);
+    h.addU64(r.sessionsCompleted);
+    h.addU64(r.sessionsAbandoned);
+    h.addDouble(r.sessionAcceptance);
+    h.addU64(r.sessionPeakLive);
+    h.addU64(r.sessionLiveBytes);
+    h.addU64(r.sessionFlitsInjected);
+    h.addU64(r.sessionFlitsDropped);
+    h.addU64(r.sessionsLeakedAtEnd);
+    h.addU64(r.retiredConnRecorders);
+    h.addU64(r.pendingSetupsAtEnd);
+    h.addU64(r.openConnsAtEnd);
+    for (const LatencySummary *s : {&r.cbrLatency,
+                                    &r.linkTransitLatency,
+                                    &r.sessionSetupLatency}) {
         h.addU64(s->count);
         h.addU64(s->p50);
         h.addU64(s->p90);

@@ -27,6 +27,7 @@
 #include "fault/fault_plan.hh"
 #include "fault/recovery.hh"
 #include "network/network.hh"
+#include "workload/churn.hh"
 
 namespace mmr
 {
@@ -72,6 +73,15 @@ struct NetworkExperimentConfig
      * acceptance ratio.
      */
     Cycle cbrDelayBudgetCycles = 0;
+
+    /**
+     * Session-churn population (workload/churn.hh): when enabled, a
+     * ChurnEngine drives timed EPB setups, holding-time injection and
+     * teardown on top of (or instead of — set cbrStreamsPerHost 0)
+     * the static per-host streams.  Ticked with the hosts, so churn
+     * runs are digest-identical serial vs sharded.
+     */
+    ChurnConfig churn;
 
     std::uint64_t seed = 42;
     unsigned invariantPeriod = 16;
@@ -123,6 +133,33 @@ struct NetworkExperimentResult
     /** End-to-end CBR delay percentiles and per-hop wire time. */
     LatencySummary cbrLatency;
     LatencySummary linkTransitLatency;
+
+    // ---- session churn (all zero unless churn.enabled) -------------
+    std::uint64_t sessionsArrived = 0;
+    std::uint64_t sessionsAdmitted = 0;
+    std::uint64_t sessionsRejected = 0;
+    std::uint64_t sessionsRejectedBusy = 0; ///< pool-full refusals
+    std::uint64_t sessionsCompleted = 0;
+    std::uint64_t sessionsAbandoned = 0; ///< lost to link faults
+    /** admitted / (admitted + rejected) — the figure of merit. */
+    double sessionAcceptance = 0.0;
+    std::uint64_t sessionPeakLive = 0;
+    std::uint64_t sessionPoolBytes = 0;
+    /** Resident bytes per live session (the <= 64 B contract). */
+    std::uint64_t sessionLiveBytes = 0;
+    std::uint64_t sessionFlitsInjected = 0;
+    std::uint64_t sessionFlitsDropped = 0;
+    /** Pool slots still occupied after the drain (leak detector). */
+    std::uint64_t sessionsLeakedAtEnd = 0;
+    /** Connection recorders folded into retired aggregates. */
+    std::uint64_t retiredConnRecorders = 0;
+    /** Measured probe+ack setup latency of admitted sessions. */
+    LatencySummary sessionSetupLatency;
+
+    /** Probes still in flight / PCS entries still present at the very
+     * end of the run (drain health; sessions should leave neither). */
+    std::uint64_t pendingSetupsAtEnd = 0;
+    std::uint64_t openConnsAtEnd = 0;
 
     std::uint64_t invariantChecks = 0;
     Cycle cycles = 0;

@@ -129,13 +129,35 @@ MetricsRecorder::recordOutputSlots(unsigned flits, unsigned ports,
         outputSlots.addMiss(ports - flits);
 }
 
+void
+MetricsRecorder::releaseConnection(ConnId conn)
+{
+    if (conn < kDirectConns) {
+        if (conn >= direct.size() || !direct[conn].touched())
+            return;
+        retiredDelay.merge(direct[conn].delay());
+        retiredJitter.merge(direct[conn].jitter());
+        direct[conn] = ConnectionRecorder{};
+    } else {
+        auto it = overflow.find(conn);
+        if (it == overflow.end())
+            return;
+        retiredDelay.merge(it->second.delay());
+        retiredJitter.merge(it->second.jitter());
+        overflow.erase(it);
+    }
+    ++retiredConns;
+}
+
 double
 MetricsRecorder::meanDelayCycles() const
 {
     // Merge in sorted connection order: StreamStat::merge is floating
     // point and therefore not associative, so unordered_map iteration
     // order must not leak into reported results (determinism audit).
-    StreamStat all;
+    // Retired connections were folded in release order, which callers
+    // keep deterministic; they seed the aggregate.
+    StreamStat all = retiredDelay;
     for (ConnId conn : connections())
         all.merge(lookup(conn)->delay());
     return all.mean();
@@ -144,7 +166,7 @@ MetricsRecorder::meanDelayCycles() const
 double
 MetricsRecorder::meanJitterCycles() const
 {
-    StreamStat all;
+    StreamStat all = retiredJitter;
     for (ConnId conn : connections())
         all.merge(lookup(conn)->jitter());
     return all.mean();
@@ -153,7 +175,7 @@ MetricsRecorder::meanJitterCycles() const
 std::uint64_t
 MetricsRecorder::measuredFlits() const
 {
-    std::uint64_t n = 0;
+    std::uint64_t n = retiredDelay.count();
     for (const ConnectionRecorder &rec : direct)
         n += rec.delay().count();
     // mmr-lint: allow(unordered-iter) order-insensitive: commutative

@@ -144,6 +144,20 @@ class MetricsRecorder
     const ConnectionRecorder *connection(ConnId conn) const;
     std::vector<ConnId> connections() const;
 
+    /**
+     * Retire a finished connection: fold its delay/jitter moments and
+     * flit count into the retired aggregates and drop the per-
+     * connection entry.  Keeps recorder memory independent of
+     * *cumulative* connection count under session churn — only live
+     * connections hold a ConnectionRecorder.  Callers must release in
+     * a deterministic order (the churn engine reaps coordinator-
+     * serial), since StreamStat::merge is floating point.
+     */
+    void releaseConnection(ConnId conn);
+
+    /** Connections folded into the retired aggregates so far. */
+    std::uint64_t retiredConnections() const { return retiredConns; }
+
   private:
     /**
      * Connection ids are small and dense in practice (the harness
@@ -158,6 +172,11 @@ class MetricsRecorder
 
     std::vector<ConnectionRecorder> direct; ///< ids < kDirectConns
     std::unordered_map<ConnId, ConnectionRecorder> overflow;
+
+    /** Moments of released connections (releaseConnection). */
+    StreamStat retiredDelay;
+    StreamStat retiredJitter;
+    std::uint64_t retiredConns = 0;
     RatioStat outputSlots;
     PercentileSketch delaySketch;
     Cycle measureStart = 0;

@@ -535,6 +535,17 @@ Network::timedResult(std::uint64_t token) const
     return it == timedDone.end() ? nullptr : &it->second;
 }
 
+bool
+Network::takeTimedResult(std::uint64_t token, TimedOutcome &out)
+{
+    auto it = timedDone.find(token);
+    if (it == timedDone.end())
+        return false;
+    out = it->second;
+    timedDone.erase(it);
+    return true;
+}
+
 std::size_t
 Network::pendingSetups() const
 {

@@ -135,6 +135,14 @@ class Network : public Clocked
     /** nullptr until the token's probe completes. */
     const TimedOutcome *timedResult(std::uint64_t token) const;
 
+    /**
+     * Destructive poll: copy the token's outcome into @p out and drop
+     * the stored entry.  False while the probe is still in flight.
+     * The churn engine uses this instead of timedResult() so the
+     * completed-setup table stays bounded over millions of sessions.
+     */
+    bool takeTimedResult(std::uint64_t token, TimedOutcome &out);
+
     /** Probes still in flight. */
     std::size_t pendingSetups() const;
 

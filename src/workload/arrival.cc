@@ -1,0 +1,164 @@
+#include "workload/arrival.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mmr
+{
+
+namespace
+{
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Flash-crowd multiplier at cycle @p t. */
+double
+flashFactor(const FlashCrowd &f, double t)
+{
+    if (f.rampCycles == 0 || f.peakFactor <= 1.0)
+        return 1.0;
+    const double up0 = static_cast<double>(f.at);
+    const double up1 = up0 + static_cast<double>(f.rampCycles);
+    const double dn0 = up1 + static_cast<double>(f.holdCycles);
+    const double dn1 = dn0 + static_cast<double>(f.rampCycles);
+    if (t <= up0 || t >= dn1)
+        return 1.0;
+    const double gain = f.peakFactor - 1.0;
+    if (t < up1)
+        return 1.0 + gain * (t - up0) / (up1 - up0);
+    if (t < dn0)
+        return f.peakFactor;
+    return 1.0 + gain * (dn1 - t) / (dn1 - dn0);
+}
+
+double
+diurnalFactor(const DiurnalCurve &d, double t)
+{
+    if (d.period == 0 || d.amplitude == 0.0)
+        return 1.0;
+    return 1.0 + d.amplitude *
+                     std::sin(2.0 * kPi * t /
+                              static_cast<double>(d.period));
+}
+
+} // namespace
+
+ArrivalSchedule::ArrivalSchedule(double base_per_cycle,
+                                 const FlashCrowd &flash,
+                                 const DiurnalCurve &diurnal,
+                                 Cycle horizon, std::uint64_t seed,
+                                 unsigned steps)
+    : rng(seed)
+{
+    mmr_assert(base_per_cycle >= 0.0, "negative arrival rate");
+    mmr_assert(diurnal.amplitude >= 0.0 && diurnal.amplitude < 1.0,
+               "diurnal amplitude must be in [0, 1)");
+    if (steps == 0)
+        steps = 1;
+    if (horizon == 0)
+        horizon = 1;
+
+    // Breakpoints: every feature contributes its step boundaries; the
+    // compiled schedule is the sorted union, one constant-rate segment
+    // between consecutive points.
+    std::vector<Cycle> marks{0};
+    if (flash.rampCycles > 0 && flash.peakFactor > 1.0) {
+        const Cycle step =
+            std::max<Cycle>(1, flash.rampCycles / steps);
+        for (Cycle t = flash.at;
+             t <= flash.at + flash.rampCycles && t < horizon;
+             t += step)
+            marks.push_back(t);
+        const Cycle dn0 = flash.at + flash.rampCycles + flash.holdCycles;
+        for (Cycle t = dn0;
+             t <= dn0 + flash.rampCycles && t < horizon; t += step)
+            marks.push_back(t);
+    }
+    if (diurnal.period > 0 && diurnal.amplitude > 0.0) {
+        const Cycle step = std::max<Cycle>(1, diurnal.period / steps);
+        for (Cycle t = 0; t < horizon; t += step)
+            marks.push_back(t);
+    }
+    std::sort(marks.begin(), marks.end());
+    marks.erase(std::unique(marks.begin(), marks.end()), marks.end());
+
+    starts.reserve(marks.size());
+    rates.reserve(marks.size());
+    for (const Cycle t : marks) {
+        // Sample each factor at the segment midpoint-free left edge:
+        // the left-edge value is held constant over the segment, so
+        // tests can reconstruct λ(t) exactly from the compiled table.
+        const auto td = static_cast<double>(t);
+        starts.push_back(t);
+        rates.push_back(base_per_cycle * flashFactor(flash, td) *
+                        diurnalFactor(diurnal, td));
+    }
+    drawNext();
+}
+
+std::size_t
+ArrivalSchedule::segmentOf(double t) const
+{
+    // Segments are few (tens); upper_bound keeps this O(log n).
+    const auto c = t < 0.0 ? 0 : static_cast<Cycle>(t);
+    const auto it =
+        std::upper_bound(starts.begin(), starts.end(), c);
+    return static_cast<std::size_t>(it - starts.begin()) - 1;
+}
+
+double
+ArrivalSchedule::rateAt(Cycle t) const
+{
+    return rates[segmentOf(static_cast<double>(t))];
+}
+
+void
+ArrivalSchedule::drawNext()
+{
+    // Exact inversion for a piecewise-constant intensity: draw a
+    // unit-exponential work amount w and walk segments forward,
+    // spending rate x duration of each until w is exhausted.  A
+    // zero-rate segment absorbs no work, so arrivals simply skip it.
+    double w = rng.exponential(1.0);
+    double t = nextAt;
+    std::size_t seg = segmentOf(t);
+    for (;;) {
+        const double rate = rates[seg];
+        const bool last = seg + 1 == starts.size();
+        const double segEnd =
+            last ? std::numeric_limits<double>::infinity()
+                 : static_cast<double>(starts[seg + 1]);
+        if (rate > 0.0) {
+            const double span = (segEnd - t) * rate;
+            if (span >= w) {
+                nextAt = t + w / rate;
+                return;
+            }
+            w -= span;
+        } else if (last) {
+            // Rate is zero forever: no further arrivals.
+            nextAt = std::numeric_limits<double>::infinity();
+            return;
+        }
+        t = segEnd;
+        ++seg;
+    }
+}
+
+unsigned
+ArrivalSchedule::take(Cycle now)
+{
+    if (off)
+        return 0;
+    unsigned n = 0;
+    const double end = static_cast<double>(now) + 1.0;
+    while (nextAt < end) {
+        ++n;
+        ++count;
+        drawNext();
+    }
+    return n;
+}
+
+} // namespace mmr
